@@ -1,0 +1,11 @@
+"""Benchmark configuration: scaled-down experiment sizes so the whole suite
+runs in minutes on a laptop while preserving the paper's relative ordering."""
+
+import pytest
+
+#: Symbolic input size used by the benchmark harnesses (the paper used up to
+#: 10 bytes with a native engine; the pure-Python engine uses fewer).
+SYMBOLIC_INPUT_BYTES = 3
+
+#: Per-benchmark verification budget.
+TIMEOUT_SECONDS = 60.0

@@ -1,0 +1,54 @@
+"""Benchmark for Figure 4: per-program compile+analysis time at -O0 / -O3 /
+-OVERIFY over a sample of the Coreutils-like suite.
+
+Each (program, level) pair is one benchmark; comparing the timings across
+levels for a fixed program regenerates that program's bar in Figure 4, and
+the shape test at the bottom checks the aggregate claims (positive mean
+reduction, no -OVERIFY timeouts).
+"""
+
+import pytest
+
+from repro.harness.figure4 import FIGURE4_LEVELS, reproduce_figure4
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.pipelines import OptLevel
+from repro.workloads import get_workload
+
+from conftest import SYMBOLIC_INPUT_BYTES
+
+#: Figure 4 sample: a mix of cheap and branch-heavy utilities.
+FIGURE4_PROGRAMS = ["echo", "grep", "wc", "tr", "head", "cut", "od", "strings"]
+
+
+@pytest.mark.parametrize("level", FIGURE4_LEVELS,
+                         ids=[str(l) for l in FIGURE4_LEVELS])
+@pytest.mark.parametrize("program", FIGURE4_PROGRAMS)
+def test_figure4_program_level(benchmark, program, level):
+    """Compile+analyse one program at one level (one bar segment)."""
+    workload = get_workload(program)
+    config = ExperimentConfig(level=level,
+                              symbolic_input_bytes=SYMBOLIC_INPUT_BYTES,
+                              timeout_seconds=30.0,
+                              max_instructions=300_000)
+
+    def one_experiment():
+        return run_experiment(workload.name, workload.source, config)
+
+    result = benchmark.pedantic(one_experiment, rounds=1, iterations=1)
+    benchmark.extra_info["paths"] = result.paths
+    benchmark.extra_info["timed_out"] = result.timed_out
+    benchmark.extra_info["interpreted_instructions"] = \
+        result.interpreted_instructions
+
+
+def test_figure4_aggregate_shape():
+    """Aggregate claims: -OVERIFY reduces the total compile+analysis time of
+    the sample versus -O0 and never times out on it."""
+    workloads = [get_workload(name) for name in FIGURE4_PROGRAMS[:5]]
+    figure = reproduce_figure4(symbolic_input_bytes=SYMBOLIC_INPUT_BYTES,
+                               timeout_seconds=30.0,
+                               max_instructions=300_000,
+                               workloads=workloads)
+    assert figure.total_time_reduction_vs(OptLevel.O0) > 0.3
+    assert figure.timeouts(OptLevel.OVERIFY) == 0
+    assert figure.max_speedup_vs(OptLevel.O0) > 2.0

@@ -1,0 +1,72 @@
+"""Benchmark for Table 1: verification cost of the wc kernel per level.
+
+Each benchmark measures the full verify step (symbolic execution of all
+paths) for one optimization level; comparing the per-level timings
+regenerates the t_verify row of Table 1.  The remaining rows (compile time,
+run time, interpreted instructions, path counts) are printed via
+``extra_info`` so that ``pytest --benchmark-only -rP`` shows the whole table.
+"""
+
+import pytest
+
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.interp import run_module
+from repro.symex import SymexLimits, explore
+from repro.workloads import WC_PROGRAM
+
+from conftest import SYMBOLIC_INPUT_BYTES, TIMEOUT_SECONDS
+
+LEVELS = [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=[str(l) for l in LEVELS])
+def test_table1_verification_time(benchmark, level):
+    """t_verify: exhaustive path exploration of wc at each level."""
+    compiled = compile_source(WC_PROGRAM, CompileOptions(level=level))
+
+    def verify():
+        return explore(compiled.module, SYMBOLIC_INPUT_BYTES,
+                       limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+
+    report = benchmark(verify)
+    benchmark.extra_info["level"] = str(level)
+    benchmark.extra_info["paths"] = report.stats.total_paths
+    benchmark.extra_info["interpreted_instructions"] = \
+        report.stats.instructions_interpreted
+    benchmark.extra_info["compile_seconds"] = compiled.compile_seconds
+    assert report.stats.total_paths >= 1
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=[str(l) for l in LEVELS])
+def test_table1_compile_time(benchmark, level):
+    """t_compile: time to run the front end plus the level's pipeline."""
+    result = benchmark(compile_source, WC_PROGRAM,
+                       CompileOptions(level=level))
+    benchmark.extra_info["static_instructions"] = result.instruction_count
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=[str(l) for l in LEVELS])
+def test_table1_run_time(benchmark, level):
+    """t_run: concrete execution on a many-word text (the paper's 108-word
+    input, scaled)."""
+    compiled = compile_source(WC_PROGRAM, CompileOptions(level=level))
+    text = bytes([1]) + (b"the quick brown fox jumps over the lazy dog " * 6)
+
+    result = benchmark(run_module, compiled.module, text)
+    benchmark.extra_info["concrete_instructions"] = \
+        result.stats.instructions_executed
+    assert not result.crashed
+
+
+def test_table1_path_count_ordering():
+    """Non-timing shape check kept with the benchmark for convenience:
+    paths(-OVERIFY) << paths(-O3) <= paths(-O0) == paths(-O2)."""
+    paths = {}
+    for level in LEVELS:
+        compiled = compile_source(WC_PROGRAM, CompileOptions(level=level))
+        report = explore(compiled.module, SYMBOLIC_INPUT_BYTES,
+                         limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+        paths[level] = report.stats.total_paths
+    assert paths[OptLevel.O0] == paths[OptLevel.O2]
+    assert paths[OptLevel.OVERIFY] * 5 <= paths[OptLevel.O3]
+    assert paths[OptLevel.OVERIFY] * 10 <= paths[OptLevel.O0]

@@ -1,0 +1,45 @@
+"""Ablation benchmark (the measured version of the paper's Table 2).
+
+Each benchmark verifies the wc kernel under one configuration: the full
+-OVERIFY pipeline, -OVERIFY with individual design choices disabled, and the
+CPU-oriented baselines.  Comparing the timings quantifies how much each
+design choice contributes — the ablation DESIGN.md calls for.
+"""
+
+import pytest
+
+from repro.harness.table2 import ablation_variants
+from repro.pipelines import compile_source
+from repro.symex import SymexLimits, explore
+from repro.workloads import WC_PROGRAM
+
+from conftest import SYMBOLIC_INPUT_BYTES
+
+VARIANTS = ablation_variants()
+
+
+@pytest.mark.parametrize("variant", VARIANTS, ids=[v.name for v in VARIANTS])
+def test_table2_ablation_verification_time(benchmark, variant):
+    compiled = compile_source(WC_PROGRAM, variant.options)
+
+    def verify():
+        return explore(compiled.module, SYMBOLIC_INPUT_BYTES,
+                       limits=SymexLimits(timeout_seconds=60.0))
+
+    report = benchmark(verify)
+    benchmark.extra_info["paths"] = report.stats.total_paths
+    benchmark.extra_info["solver_queries"] = report.solver_stats.queries
+
+
+def test_ablation_shape():
+    """The full configuration explores no more paths than any ablated one
+    and far fewer than the -O0 baseline."""
+    results = {}
+    for variant in VARIANTS:
+        compiled = compile_source(WC_PROGRAM, variant.options)
+        report = explore(compiled.module, SYMBOLIC_INPUT_BYTES,
+                         limits=SymexLimits(timeout_seconds=60.0))
+        results[variant.name] = report.stats.total_paths
+    full = results["full -OVERIFY"]
+    assert all(full <= paths for paths in results.values())
+    assert full * 10 <= results["-O0 (debug)"]

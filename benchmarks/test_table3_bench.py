@@ -1,0 +1,48 @@
+"""Benchmark for Table 3: cost of compiling the Coreutils-like suite at each
+level, plus the transformation-count shape check.
+
+The timing series shows how much more work the -OVERIFY pipeline does at
+compile time; the extra_info carries the four Table 3 counters.
+"""
+
+import pytest
+
+from repro.harness.table3 import TABLE3_LEVELS, reproduce_table3
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.workloads import all_workloads
+
+#: A representative subset keeps each benchmark iteration under a second.
+BENCH_WORKLOADS = ["wc", "cat", "grep", "uniq", "tr", "cut", "seq",
+                   "basename", "expr", "sum"]
+
+
+@pytest.mark.parametrize("level", TABLE3_LEVELS, ids=[str(l) for l in TABLE3_LEVELS])
+def test_table3_compile_suite(benchmark, level):
+    """Compile the workload subset at one level and record the Table 3 row."""
+    sources = [w.source for w in all_workloads("coreutils")
+               if w.name in BENCH_WORKLOADS]
+
+    def compile_all():
+        totals = {"functions_inlined": 0, "loops_unswitched": 0,
+                  "loops_unrolled": 0, "branches_converted": 0}
+        for source in sources:
+            result = compile_source(source, CompileOptions(
+                level=level, verification_libc=False))
+            for key, value in result.table3_row().items():
+                totals[key] += value
+        return totals
+
+    totals = benchmark.pedantic(compile_all, rounds=1, iterations=1)
+    for key, value in totals.items():
+        benchmark.extra_info[key] = value
+
+
+def test_table3_counts_shape():
+    """The paper's qualitative claim: every transformation count grows (or
+    stays equal) with optimization aggressiveness, and -OVERIFY transforms
+    strictly more overall than -O3."""
+    table = reproduce_table3(workload_names=BENCH_WORKLOADS)
+    assert table.monotonic_in_aggressiveness()
+    o3_total = sum(table.totals[OptLevel.O3].values())
+    overify_total = sum(table.totals[OptLevel.OVERIFY].values())
+    assert 0 < o3_total < overify_total

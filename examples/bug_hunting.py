@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Bug hunting across optimization levels (the paper's §4 parity check).
+
+The paper reports: "We verified that indeed all bugs discovered by KLEE with
+-O0 and -O3 are also found with -OSYMBEX" — i.e. compiling for verification
+does not hide defects, it only finds them faster.
+
+This example takes the two deliberately buggy utilities in the workload
+suite (an out-of-bounds write and a division by zero), symbolically executes
+each build, compares the bug sets, and measures how much sooner the
+-OVERIFY build finds them.
+
+Run with:  python examples/bug_hunting.py
+"""
+
+import time
+
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.symex import SymexLimits, explore
+from repro.workloads import all_workloads
+
+LEVELS = [OptLevel.O0, OptLevel.O3, OptLevel.OVERIFY]
+
+
+def hunt(workload) -> None:
+    print(f"== {workload.name}: {workload.description}")
+    found = {}
+    for level in LEVELS:
+        compiled = compile_source(workload.source, CompileOptions(level=level))
+        start = time.perf_counter()
+        report = explore(compiled.module, 3,
+                         limits=SymexLimits(timeout_seconds=60))
+        elapsed = time.perf_counter() - start
+        kinds = sorted({bug.kind.value for bug in report.bugs})
+        found[level] = set(kinds)
+        inputs = sorted({bug.test_input for bug in report.bugs
+                         if bug.test_input is not None})
+        print(f"  {str(level):9} {elapsed * 1000:7.1f} ms  "
+              f"paths={report.stats.total_paths:4d}  bugs={kinds}  "
+              f"triggering inputs={inputs[:3]}")
+    missing = (found[OptLevel.O0] | found[OptLevel.O3]) - found[OptLevel.OVERIFY]
+    if missing:
+        print(f"  !! -OVERIFY missed: {missing}")
+    else:
+        print("  parity holds: every bug found at -O0/-O3 is also found "
+              "at -OVERIFY")
+    print()
+
+
+def main() -> None:
+    for workload in all_workloads("buggy"):
+        hunt(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — a reproduction of "-OVERIFY: Optimizing Programs for Fast
+Verification" (HotOS 2013).
+
+The package provides:
+
+* ``repro.ir`` — an LLVM-like SSA intermediate representation,
+* ``repro.frontend`` — the MiniC front end,
+* ``repro.analysis`` — CFG/dominator/loop/alias/call-graph analyses,
+* ``repro.passes`` — the optimization passes and pass manager,
+* ``repro.pipelines`` — the ``-O0``/``-O2``/``-O3``/``-OVERIFY`` pipelines,
+* ``repro.interp`` — a concrete IR interpreter,
+* ``repro.symex`` — a KLEE-style symbolic execution engine,
+* ``repro.vlibc`` — the verification-optimized C library,
+* ``repro.workloads`` — the wc kernel and Coreutils-like utilities,
+* ``repro.harness`` — drivers that regenerate the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

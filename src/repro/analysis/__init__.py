@@ -1,0 +1,33 @@
+"""repro.analysis — analyses over the IR (CFG, dominators, loops, aliasing,
+call graph, value ranges, static metrics)."""
+
+from .cfg import (
+    postorder, predecessor_map, predecessors, reachable_blocks,
+    remove_unreachable_blocks, reverse_postorder, split_edge, successors,
+    unreachable_blocks,
+)
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo, TripCount, compute_trip_count
+from .callgraph import CallGraph
+from .alias import (
+    AliasResult, PointerInfo, alias, alloca_address_escapes, underlying_object,
+)
+from .metrics import (
+    FunctionMetrics, ModuleMetrics, function_metrics, module_metrics,
+    verification_cost_estimate,
+)
+from .value_range import Interval, ValueRangeAnalysis, full_range
+
+__all__ = [
+    "postorder", "predecessor_map", "predecessors", "reachable_blocks",
+    "remove_unreachable_blocks", "reverse_postorder", "split_edge",
+    "successors", "unreachable_blocks",
+    "DominatorTree",
+    "Loop", "LoopInfo", "TripCount", "compute_trip_count",
+    "CallGraph",
+    "AliasResult", "PointerInfo", "alias", "alloca_address_escapes",
+    "underlying_object",
+    "FunctionMetrics", "ModuleMetrics", "function_metrics", "module_metrics",
+    "verification_cost_estimate",
+    "Interval", "ValueRangeAnalysis", "full_range",
+]

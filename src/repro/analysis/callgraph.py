@@ -1,0 +1,86 @@
+"""Call graph construction and queries (used by the inliner)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import CallInst, Function, Module
+
+
+class CallGraph:
+    """Static call graph of a module (direct calls only)."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.callees: Dict[str, List[str]] = {}
+        self.callers: Dict[str, List[str]] = {}
+        self.call_sites: Dict[str, List[CallInst]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for function in self.module:
+            self.callees.setdefault(function.name, [])
+            self.callers.setdefault(function.name, [])
+            self.call_sites.setdefault(function.name, [])
+        for function in self.module.defined_functions():
+            for inst in function.instructions():
+                if isinstance(inst, CallInst) and isinstance(inst.callee, Function):
+                    callee_name = inst.callee.name
+                    self.callees[function.name].append(callee_name)
+                    self.callers.setdefault(callee_name, []).append(function.name)
+                    self.call_sites.setdefault(callee_name, []).append(inst)
+
+    # ------------------------------------------------------------- queries
+    def callees_of(self, name: str) -> List[str]:
+        return self.callees.get(name, [])
+
+    def callers_of(self, name: str) -> List[str]:
+        return self.callers.get(name, [])
+
+    def is_recursive(self, name: str) -> bool:
+        """True if ``name`` can reach itself through the call graph."""
+        seen: Set[str] = set()
+        stack = list(self.callees.get(name, []))
+        while stack:
+            current = stack.pop()
+            if current == name:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callees.get(current, []))
+        return False
+
+    def bottom_up_order(self) -> List[Function]:
+        """Defined functions ordered callees-before-callers (SCCs broken
+        arbitrarily), which is the order the inliner visits them in."""
+        visited: Set[str] = set()
+        order: List[Function] = []
+
+        def visit(name: str, path: Set[str]) -> None:
+            if name in visited or name in path:
+                return
+            path.add(name)
+            for callee in self.callees.get(name, []):
+                visit(callee, path)
+            path.discard(name)
+            visited.add(name)
+            function = self.module.get_function_or_none(name)
+            if function is not None and not function.is_declaration:
+                order.append(function)
+
+        for function in self.module.defined_functions():
+            visit(function.name, set())
+        return order
+
+    def reachable_from(self, roots: List[str]) -> Set[str]:
+        """Names of functions reachable from any of ``roots``."""
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callees.get(current, []))
+        return seen

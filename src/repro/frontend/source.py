@@ -1,0 +1,29 @@
+"""Source locations and diagnostics for the MiniC front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a source file (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: str = "<source>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+UNKNOWN_LOCATION = SourceLocation(0, 0, "<unknown>")
+
+
+class CompileError(Exception):
+    """A diagnostic raised by the lexer, parser, or semantic analyzer."""
+
+    def __init__(self, message: str, location: SourceLocation = UNKNOWN_LOCATION) -> None:
+        super().__init__(f"{location}: {message}")
+        self.message = message
+        self.location = location

@@ -1,0 +1,23 @@
+"""repro.harness — drivers that regenerate the paper's tables and figures.
+
+* ``python -m repro.harness.table1`` — Table 1 (wc kernel, all levels)
+* ``python -m repro.harness.table2`` — Table 2 (measured ablation)
+* ``python -m repro.harness.table3`` — Table 3 (transformation counts)
+* ``python -m repro.harness.figure4`` — Figure 4 (per-program sweep)
+"""
+
+from .experiment import ExperimentConfig, ExperimentResult, run_experiment, run_level_sweep
+from .report import format_bar_chart, format_table
+from .table1 import Table1, TABLE1_LEVELS, reproduce_table1
+from .table2 import AblationRow, AblationVariant, reproduce_table2, render_table2
+from .table3 import Table3, TABLE3_LEVELS, reproduce_table3
+from .figure4 import Figure4, FIGURE4_LEVELS, ProgramOutcome, reproduce_figure4
+
+__all__ = [
+    "ExperimentConfig", "ExperimentResult", "run_experiment", "run_level_sweep",
+    "format_bar_chart", "format_table",
+    "Table1", "TABLE1_LEVELS", "reproduce_table1",
+    "AblationRow", "AblationVariant", "reproduce_table2", "render_table2",
+    "Table3", "TABLE3_LEVELS", "reproduce_table3",
+    "Figure4", "FIGURE4_LEVELS", "ProgramOutcome", "reproduce_figure4",
+]

@@ -1,0 +1,115 @@
+"""Shared experiment runner.
+
+One "experiment" is: compile a workload at an optimization level, then (a)
+exhaustively symbolically execute it over a bounded symbolic input and (b)
+concretely run it on a sample input.  These are the measurements all of the
+paper's tables and figures are built from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..interp import Interpreter, run_module
+from ..pipelines import CompilationResult, CompileOptions, OptLevel, compile_source
+from ..symex import SymexLimits, SymexReport, explore
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters of one compile+verify+run experiment."""
+
+    level: OptLevel
+    symbolic_input_bytes: int = 4
+    concrete_input: bytes = b"the quick brown fox"
+    #: Per-experiment verification budget (the paper used a one-hour budget
+    #: per Coreutils program; scale down for a Python-based engine).
+    timeout_seconds: float = 60.0
+    max_instructions: int = 5_000_000
+    enable_runtime_checks: bool = True
+    verification_libc: Optional[bool] = None
+
+
+@dataclass
+class ExperimentResult:
+    """The measurements of one experiment (one bar/cell in the paper)."""
+
+    workload: str
+    level: OptLevel
+    compile_seconds: float
+    verify_seconds: float
+    run_seconds: float
+    static_instructions: int
+    interpreted_instructions: int
+    concrete_instructions: int
+    paths: int
+    errors: int
+    timed_out: bool
+    transform_stats: Dict[str, int] = field(default_factory=dict)
+    bug_signatures: frozenset = frozenset()
+    return_value: Optional[int] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Compile + analysis time: what Figure 4 plots per program."""
+        return self.compile_seconds + self.verify_seconds
+
+
+def run_experiment(name: str, source: str,
+                   config: ExperimentConfig) -> ExperimentResult:
+    """Compile ``source`` at ``config.level`` and measure verification and
+    execution cost."""
+    options = CompileOptions(
+        level=config.level,
+        enable_runtime_checks=config.enable_runtime_checks,
+        verification_libc=config.verification_libc,
+    )
+    compiled = compile_source(source, options)
+
+    limits = SymexLimits(timeout_seconds=config.timeout_seconds,
+                         max_instructions=config.max_instructions)
+    verify_start = time.perf_counter()
+    report = explore(compiled.module, config.symbolic_input_bytes,
+                     limits=limits)
+    verify_seconds = time.perf_counter() - verify_start
+
+    run_start = time.perf_counter()
+    concrete = run_module(compiled.module, config.concrete_input)
+    run_seconds = time.perf_counter() - run_start
+
+    return ExperimentResult(
+        workload=name,
+        level=config.level,
+        compile_seconds=compiled.compile_seconds,
+        verify_seconds=verify_seconds,
+        run_seconds=run_seconds,
+        static_instructions=compiled.instruction_count,
+        interpreted_instructions=report.stats.instructions_interpreted,
+        concrete_instructions=concrete.stats.instructions_executed,
+        paths=report.stats.total_paths,
+        errors=report.stats.paths_errored,
+        timed_out=report.stats.timed_out,
+        transform_stats=compiled.stats.as_dict(),
+        bug_signatures=frozenset(report.bug_signatures()),
+        return_value=concrete.return_value,
+    )
+
+
+def run_level_sweep(name: str, source: str, levels: Sequence[OptLevel],
+                    base_config: ExperimentConfig) -> Dict[OptLevel, ExperimentResult]:
+    """Run the same workload at several optimization levels."""
+    results: Dict[OptLevel, ExperimentResult] = {}
+    for level in levels:
+        config = ExperimentConfig(
+            level=level,
+            symbolic_input_bytes=base_config.symbolic_input_bytes,
+            concrete_input=base_config.concrete_input,
+            timeout_seconds=base_config.timeout_seconds,
+            max_instructions=base_config.max_instructions,
+            enable_runtime_checks=base_config.enable_runtime_checks,
+            verification_libc=base_config.verification_libc,
+        )
+        results[level] = run_experiment(name, source, config)
+    return results

@@ -1,0 +1,45 @@
+"""Plain-text table/figure rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    for row in materialized:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def format_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     width: int = 50, title: str = "",
+                     unit: str = "s") -> str:
+    """Render a horizontal ASCII bar chart (used for Figure 4)."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        parts.append(f"{label.ljust(label_width)}  {value:8.2f}{unit}  {bar}")
+    return "\n".join(parts)

@@ -1,0 +1,143 @@
+"""Table 2 (ablation): the impact of individual transformations on
+verification time vs execution time.
+
+The paper's Table 2 is a qualitative matrix ("+", "-", "+/-").  The
+reproduction turns it into a measured ablation: starting from the full
+-OVERIFY configuration, each design choice called out in DESIGN.md is
+disabled in turn, and both the verification cost (symbolic execution of the
+wc kernel) and the execution cost (concrete interpretation) are re-measured.
+A positive verification delta means the transformation helps verification; a
+negative execution delta means it costs execution performance — reproducing
+the paper's "conflicting requirements" observation.
+
+Run with ``python -m repro.harness.table2``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..interp import run_module
+from ..passes import (
+    AnnotateForVerification, ConstantPropagation, DeadCodeElimination,
+    GlobalDCE, GlobalValueNumbering, IfConversion, IfConversionParams,
+    InlineParams, Inliner, InsertRuntimeChecks, InstCombine, JumpThreading,
+    LoopInvariantCodeMotion, LoopUnrolling, LoopUnswitching, PassManager,
+    PromoteMemoryToRegisters, ScalarReplacementOfAggregates, SimplifyCFG,
+    UnrollParams, UnswitchParams,
+)
+from ..pipelines import CompileOptions, OptLevel, compile_source
+from ..symex import SymexLimits, explore
+from ..workloads import WC_PROGRAM
+from .report import format_table
+
+
+@dataclass
+class AblationVariant:
+    """One row of the ablation: the -OVERIFY configuration minus one choice."""
+
+    name: str
+    description: str
+    options: CompileOptions
+
+
+@dataclass
+class AblationRow:
+    name: str
+    verify_seconds: float
+    run_seconds: float
+    paths: int
+
+    def verification_impact(self, full: "AblationRow") -> str:
+        """"+" if the disabled transformation was helping verification."""
+        return "+" if self.verify_seconds > full.verify_seconds * 1.05 else \
+            ("-" if self.verify_seconds < full.verify_seconds * 0.95 else "=")
+
+    def execution_impact(self, full: "AblationRow") -> str:
+        return "+" if self.run_seconds > full.run_seconds * 1.05 else \
+            ("-" if self.run_seconds < full.run_seconds * 0.95 else "=")
+
+
+def ablation_variants() -> List[AblationVariant]:
+    """The design choices DESIGN.md calls out for ablation."""
+    return [
+        AblationVariant(
+            name="full -OVERIFY",
+            description="the complete verification-oriented configuration",
+            options=CompileOptions(level=OptLevel.OVERIFY)),
+        AblationVariant(
+            name="without runtime checks",
+            description="disable the runtime-check insertion pass",
+            options=CompileOptions(level=OptLevel.OVERIFY,
+                                   enable_runtime_checks=False)),
+        AblationVariant(
+            name="without verification libC",
+            description="link the execution-optimized C library instead",
+            options=CompileOptions(level=OptLevel.OVERIFY,
+                                   verification_libc=False)),
+        AblationVariant(
+            name="-O3 (CPU-oriented)",
+            description="the release build the paper compares against",
+            options=CompileOptions(level=OptLevel.O3)),
+        AblationVariant(
+            name="-O0 (debug)",
+            description="the unoptimized build",
+            options=CompileOptions(level=OptLevel.O0)),
+    ]
+
+
+def measure_variant(variant: AblationVariant, symbolic_input_bytes: int,
+                    timeout_seconds: float,
+                    concrete_input: bytes) -> AblationRow:
+    compiled = compile_source(WC_PROGRAM, variant.options)
+    start = time.perf_counter()
+    report = explore(compiled.module, symbolic_input_bytes,
+                     limits=SymexLimits(timeout_seconds=timeout_seconds))
+    verify_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_module(compiled.module, concrete_input)
+    run_seconds = time.perf_counter() - start
+    return AblationRow(name=variant.name, verify_seconds=verify_seconds,
+                       run_seconds=run_seconds,
+                       paths=report.stats.total_paths)
+
+
+def reproduce_table2(symbolic_input_bytes: int = 4,
+                     timeout_seconds: float = 60.0,
+                     concrete_input: bytes = b"some words to count here"
+                     ) -> List[AblationRow]:
+    rows = []
+    for variant in ablation_variants():
+        rows.append(measure_variant(variant, symbolic_input_bytes,
+                                    timeout_seconds, concrete_input))
+    return rows
+
+
+def render_table2(rows: List[AblationRow]) -> str:
+    full = rows[0]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.name,
+            f"{row.verify_seconds * 1000:.0f}",
+            f"{row.run_seconds * 1000:.0f}",
+            row.paths,
+            row.verification_impact(full) if row is not full else "·",
+            row.execution_impact(full) if row is not full else "·",
+        ])
+    return format_table(
+        ["configuration", "t_verify [ms]", "t_run [ms]", "paths",
+         "verif. cost vs full", "exec. cost vs full"],
+        table_rows,
+        title="Table 2 (measured ablation of the -OVERIFY design choices)")
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    rows = reproduce_table2()
+    print(render_table2(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,13 @@
+"""repro.interp — concrete execution of IR modules."""
+
+from .errors import ErrorKind, ProgramError
+from .memory import Memory, MemoryObject, NULL_GUARD_SIZE
+from .interpreter import (
+    ExecutionResult, ExecutionStats, Interpreter, run_module,
+)
+
+__all__ = [
+    "ErrorKind", "ProgramError",
+    "Memory", "MemoryObject", "NULL_GUARD_SIZE",
+    "ExecutionResult", "ExecutionStats", "Interpreter", "run_module",
+]

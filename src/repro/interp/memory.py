@@ -1,0 +1,105 @@
+"""Flat byte-addressable memory for the concrete interpreter.
+
+Objects (globals, stack slots, harness-provided buffers) are carved out of a
+single address space; every access is checked against the bounds of the
+object it falls into, so memory-safety violations surface as
+:class:`ProgramError` rather than silent corruption — the behaviour a
+verification tool expects from its runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .errors import ErrorKind, ProgramError
+
+#: Addresses below this are never valid (catches null + small offsets).
+NULL_GUARD_SIZE = 4096
+
+
+@dataclass
+class MemoryObject:
+    """One allocation in the flat address space."""
+
+    base: int
+    size: int
+    name: str = ""
+    writable: bool = True
+
+    def contains(self, address: int, access_size: int) -> bool:
+        return self.base <= address and \
+            address + access_size <= self.base + self.size
+
+
+class Memory:
+    """A bump-allocated, bounds-checked byte memory."""
+
+    def __init__(self) -> None:
+        self._next_address = NULL_GUARD_SIZE
+        self._objects: List[MemoryObject] = []
+        self._bytes: Dict[int, int] = {}
+        #: Interval index: sorted list of (base, object) for lookup.
+        self._by_base: List[Tuple[int, MemoryObject]] = []
+
+    # -------------------------------------------------------------- layout
+    def allocate(self, size: int, name: str = "",
+                 writable: bool = True) -> int:
+        """Allocate ``size`` bytes and return the base address."""
+        size = max(1, size)
+        base = self._next_address
+        # Pad allocations so adjacent objects never touch; off-by-one bugs
+        # then hit unmapped memory instead of a neighbouring object.
+        self._next_address += size + 16
+        obj = MemoryObject(base=base, size=size, name=name, writable=writable)
+        self._objects.append(obj)
+        self._by_base.append((base, obj))
+        return base
+
+    def object_at(self, address: int) -> Optional[MemoryObject]:
+        """The object containing ``address``, if any."""
+        for base, obj in reversed(self._by_base):
+            if obj.base <= address < obj.base + obj.size:
+                return obj
+        return None
+
+    # -------------------------------------------------------------- access
+    def _check(self, address: int, size: int, write: bool) -> MemoryObject:
+        if address < NULL_GUARD_SIZE:
+            raise ProgramError(ErrorKind.NULL_DEREFERENCE,
+                               f"access at address {address:#x}")
+        obj = self.object_at(address)
+        if obj is None or not obj.contains(address, size):
+            raise ProgramError(
+                ErrorKind.OUT_OF_BOUNDS,
+                f"{'write' if write else 'read'} of {size} bytes at "
+                f"{address:#x}")
+        if write and not obj.writable:
+            raise ProgramError(ErrorKind.OUT_OF_BOUNDS,
+                               f"write to read-only object '{obj.name}'")
+        return obj
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data), write=True)
+        for offset, value in enumerate(data):
+            self._bytes[address + offset] = value
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        self._check(address, size, write=False)
+        return bytes(self._bytes.get(address + i, 0) for i in range(size))
+
+    def store_int(self, address: int, value: int, size: int) -> None:
+        self.store_bytes(address, (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"))
+
+    def load_int(self, address: int, size: int) -> int:
+        return int.from_bytes(self.load_bytes(address, size), "little")
+
+    # -------------------------------------------------------------- stats
+    @property
+    def allocated_objects(self) -> int:
+        return len(self._objects)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(obj.size for obj in self._objects)

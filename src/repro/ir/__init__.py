@@ -1,0 +1,44 @@
+"""repro.ir — an SSA, typed, LLVM-like intermediate representation.
+
+This package is the substrate that everything else builds on: the MiniC
+front end lowers to it, the optimization passes transform it, and both the
+concrete interpreter and the symbolic executor consume it.
+"""
+
+from .types import (
+    ArrayType, FunctionType, IntType, PointerType, StructType, Type, VoidType,
+    I1, I8, I16, I32, I64, VOID, int_type, pointer_to,
+)
+from .values import (
+    Argument, Constant, ConstantArray, ConstantInt, GlobalVariable, UndefValue,
+    Use, User, Value,
+)
+from .instructions import (
+    AllocaInst, BinaryInst, BranchInst, CallInst, CastInst, GEPInst, ICmpInst,
+    ICmpPredicate, Instruction, LoadInst, Opcode, PhiInst, ReturnInst,
+    SelectInst, StoreInst, SwitchInst, UnreachableInst,
+    BINARY_OPCODES, CAST_OPCODES, COMMUTATIVE_OPCODES,
+)
+from .basicblock import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder, eval_binary, eval_icmp
+from .printer import print_function, print_instruction, print_module
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ArrayType", "FunctionType", "IntType", "PointerType", "StructType",
+    "Type", "VoidType", "I1", "I8", "I16", "I32", "I64", "VOID",
+    "int_type", "pointer_to",
+    "Argument", "Constant", "ConstantArray", "ConstantInt", "GlobalVariable",
+    "UndefValue", "Use", "User", "Value",
+    "AllocaInst", "BinaryInst", "BranchInst", "CallInst", "CastInst",
+    "GEPInst", "ICmpInst", "ICmpPredicate", "Instruction", "LoadInst",
+    "Opcode", "PhiInst", "ReturnInst", "SelectInst", "StoreInst",
+    "SwitchInst", "UnreachableInst",
+    "BINARY_OPCODES", "CAST_OPCODES", "COMMUTATIVE_OPCODES",
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "eval_binary", "eval_icmp",
+    "print_function", "print_instruction", "print_module",
+    "VerificationError", "verify_function", "verify_module",
+]

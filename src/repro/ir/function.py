@@ -1,0 +1,129 @@
+"""Functions: a list of basic blocks plus a signature."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from .basicblock import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from .module import Module
+
+
+class Function(Value):
+    """A function definition (with blocks) or declaration (without).
+
+    The value itself denotes the function's address, so calls use it as an
+    operand directly.
+    """
+
+    def __init__(self, name: str, function_type: FunctionType,
+                 param_names: Optional[List[str]] = None,
+                 parent: Optional["Module"] = None) -> None:
+        super().__init__(function_type, name)
+        self.function_type = function_type
+        self.parent = parent
+        self.blocks: List[BasicBlock] = []
+        self.arguments: List[Argument] = []
+        #: Function-level attributes, e.g. ``{"inline_hint": True}`` or
+        #: ``{"no_inline": True}``; consulted by the inliner's cost model.
+        self.attributes: Dict[str, object] = {}
+        #: Module-level metadata preserved for verification tools.
+        self.metadata: Dict[str, object] = {}
+        self._next_name_id = 0
+        names = param_names or [f"arg{i}" for i in range(len(function_type.param_types))]
+        for i, (ty, pname) in enumerate(zip(function_type.param_types, names)):
+            self.arguments.append(Argument(ty, pname, i))
+
+    # ------------------------------------------------------------ structure
+    @property
+    def return_type(self) -> Type:
+        return self.function_type.return_type
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in the function."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    # ------------------------------------------------------------- mutation
+    def append_block(self, block: BasicBlock) -> BasicBlock:
+        block.parent = self
+        if not block.name:
+            block.name = self.next_name("bb")
+        self.blocks.append(block)
+        return block
+
+    def insert_block_after(self, anchor: BasicBlock, block: BasicBlock) -> BasicBlock:
+        block.parent = self
+        if not block.name:
+            block.name = self.next_name("bb")
+        self.blocks.insert(self.blocks.index(anchor) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def next_name(self, prefix: str = "t") -> str:
+        """Generate a fresh local name unique within this function."""
+        self._next_name_id += 1
+        return f"{prefix}{self._next_name_id}"
+
+    def rename_locals(self) -> None:
+        """Give every block and instruction a unique, dense name.
+
+        Used by the printer so that textual IR is deterministic and by the
+        parser round-trip tests.
+        """
+        taken: Dict[str, int] = {}
+
+        def unique(base: str) -> str:
+            if base not in taken:
+                taken[base] = 0
+                return base
+            taken[base] += 1
+            return f"{base}.{taken[base]}"
+
+        for arg in self.arguments:
+            arg.name = unique(arg.name or "arg")
+        counter = 0
+        for block in self.blocks:
+            block.name = unique(block.name or f"bb{counter}")
+            counter += 1
+            for inst in block.instructions:
+                if not inst.type.is_void:
+                    inst.name = unique(inst.name or f"v{counter}")
+                    counter += 1
+
+    # ------------------------------------------------------------- queries
+    def get_block(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"function {self.name} has no block '{name}'")
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "declaration" if self.is_declaration else f"{len(self.blocks)} blocks"
+        return f"<Function {self.name} ({kind})>"

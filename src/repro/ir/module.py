@@ -1,0 +1,90 @@
+"""Modules: the top-level IR container (functions + globals)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .function import Function
+from .types import FunctionType, Type
+from .values import Constant, GlobalVariable
+
+
+class Module:
+    """A translation unit: named functions and global variables."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+        #: Module-level metadata (e.g. which optimization level produced it).
+        self.metadata: Dict[str, object] = {}
+
+    # ----------------------------------------------------------- functions
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function '{function.name}'")
+        function.parent = self
+        self.functions[function.name] = function
+        return function
+
+    def create_function(self, name: str, function_type: FunctionType,
+                        param_names: Optional[List[str]] = None) -> Function:
+        return self.add_function(Function(name, function_type, param_names, self))
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError as exc:
+            raise KeyError(f"module {self.name} has no function '{name}'") from exc
+
+    def get_function_or_none(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def remove_function(self, function: Function) -> None:
+        del self.functions[function.name]
+        function.parent = None
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def declared_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if f.is_declaration]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    # ------------------------------------------------------------- globals
+    def add_global(self, name: str, value_type: Type,
+                   initializer: Optional[Constant] = None,
+                   is_constant: bool = False) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global '{name}'")
+        gv = GlobalVariable(name, value_type, initializer, is_constant)
+        self.globals[name] = gv
+        return gv
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError as exc:
+            raise KeyError(f"module {self.name} has no global '{name}'") from exc
+
+    def unique_global_name(self, base: str) -> str:
+        """Return a global name derived from ``base`` that is not yet taken."""
+        if base not in self.globals and base not in self.functions:
+            return base
+        i = 1
+        while f"{base}.{i}" in self.globals or f"{base}.{i}" in self.functions:
+            i += 1
+        return f"{base}.{i}"
+
+    # ------------------------------------------------------------- metrics
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.defined_functions())
+
+    def block_count(self) -> int:
+        return sum(len(f.blocks) for f in self.defined_functions())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Module {self.name}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

@@ -1,0 +1,41 @@
+"""repro.passes — the optimization passes and pass manager."""
+
+from .pass_manager import Pass, PassManager, PassRunRecord, TransformStats
+from .mem2reg import PromoteMemoryToRegisters
+from .sroa import ScalarReplacementOfAggregates
+from .constprop import ConstantPropagation, fold_instruction
+from .instcombine import InstCombine
+from .dce import DeadCodeElimination, GlobalDCE
+from .gvn import GlobalValueNumbering
+from .simplifycfg import SimplifyCFG
+from .inline import InlineParams, Inliner, inline_call
+from .ifconvert import IfConversion, IfConversionParams
+from .jump_threading import JumpThreading
+from .licm import LoopInvariantCodeMotion
+from .loop_unswitch import LoopUnswitching, UnswitchParams
+from .loop_unroll import LoopUnrolling, UnrollParams
+from .annotate import AnnotateForVerification
+from .checks import CHECK_FAIL_FUNCTION, InsertRuntimeChecks, get_or_create_check_fail
+from .loop_utils import (
+    clone_loop, ensure_preheader, insert_lcssa_phis, single_exit_block,
+)
+
+__all__ = [
+    "Pass", "PassManager", "PassRunRecord", "TransformStats",
+    "PromoteMemoryToRegisters",
+    "ScalarReplacementOfAggregates",
+    "ConstantPropagation", "fold_instruction",
+    "InstCombine",
+    "DeadCodeElimination", "GlobalDCE",
+    "GlobalValueNumbering",
+    "SimplifyCFG",
+    "InlineParams", "Inliner", "inline_call",
+    "IfConversion", "IfConversionParams",
+    "JumpThreading",
+    "LoopInvariantCodeMotion",
+    "LoopUnswitching", "UnswitchParams",
+    "LoopUnrolling", "UnrollParams",
+    "AnnotateForVerification",
+    "CHECK_FAIL_FUNCTION", "InsertRuntimeChecks", "get_or_create_check_fail",
+    "clone_loop", "ensure_preheader", "insert_lcssa_phis", "single_exit_block",
+]

@@ -1,0 +1,78 @@
+"""Program annotations for verification tools.
+
+"Compilers also do not keep information computed during compilation, such as
+alias information, variable ranges, loop invariants, or trip counts.  This
+information however is priceless for verification tools, and could be easily
+preserved in the form of program metadata." (§3, Program annotations.)
+
+This pass records, as instruction/function metadata:
+
+* ``range`` — the interval computed by the value-range analysis,
+* ``trip_count`` — exact trip counts of counted loops (on the header's
+  terminator),
+* ``alias.distinct`` — for loads/stores whose base object is an identified
+  alloca or global, the name of that object (two accesses with different
+  base names cannot alias),
+* ``loop.depth`` — the loop nesting depth of each memory access.
+
+The symbolic executor consults ``range`` metadata to avoid solver calls for
+branches whose outcome the interval already decides, which is one of the
+mechanisms by which -OVERIFY speeds verification up without changing the
+verification tool itself.
+"""
+
+from __future__ import annotations
+
+from ..analysis import (
+    LoopInfo, ValueRangeAnalysis, compute_trip_count, full_range,
+    underlying_object,
+)
+from ..ir import (
+    AllocaInst, Function, GlobalVariable, Instruction, IntType, LoadInst,
+    StoreInst,
+)
+from .pass_manager import Pass
+
+
+class AnnotateForVerification(Pass):
+    """Attach analysis results as metadata for downstream verification tools."""
+
+    name = "annotate"
+
+    def run_on_function(self, function: Function) -> bool:
+        if function.is_declaration:
+            return False
+        changed = False
+        ranges = ValueRangeAnalysis(function)
+        loop_info = LoopInfo(function)
+
+        for block in function.blocks:
+            depth = loop_info.loop_depth(block)
+            for inst in block.instructions:
+                if isinstance(inst.type, IntType):
+                    interval = ranges.range_of(inst)
+                    if interval is not None and \
+                            interval != full_range(inst.type):
+                        inst.metadata["range"] = (interval.low, interval.high)
+                        self.stats.annotations_added += 1
+                        changed = True
+                if isinstance(inst, (LoadInst, StoreInst)):
+                    pointer = inst.pointer
+                    base = underlying_object(pointer).base
+                    if isinstance(base, (AllocaInst, GlobalVariable)):
+                        inst.metadata["alias.distinct"] = base.name
+                        self.stats.annotations_added += 1
+                        changed = True
+                    if depth:
+                        inst.metadata["loop.depth"] = depth
+
+        for loop in loop_info.loops:
+            trip = compute_trip_count(loop)
+            if trip is not None:
+                term = loop.header.terminator
+                if term is not None:
+                    term.metadata["trip_count"] = trip.count
+                    self.stats.annotations_added += 1
+                    changed = True
+        function.metadata["annotated_for_verification"] = True
+        return changed

@@ -1,0 +1,117 @@
+"""Dead code elimination.
+
+Removes instructions whose results are unused and that have no side effects,
+plus stores to allocas that are never read ("dead store to dead object").
+Together with constant propagation this is what produces the instruction
+count reduction the paper attributes to ``-O2`` in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir import (
+    AllocaInst, CallInst, Function, GEPInst, Instruction, LoadInst, Module,
+    Opcode, StoreInst,
+)
+from .pass_manager import Pass
+
+
+def _is_trivially_dead(inst: Instruction) -> bool:
+    if inst.num_uses > 0:
+        return False
+    if inst.is_terminator:
+        return False
+    if isinstance(inst, StoreInst):
+        return False
+    if isinstance(inst, CallInst):
+        return False  # calls may have side effects; the IPO passes handle them
+    return True
+
+
+class DeadCodeElimination(Pass):
+    """Classic use-count based DCE plus dead-alloca removal."""
+
+    name = "dce"
+
+    def run_on_function(self, function: Function) -> bool:
+        if function.is_declaration:
+            return False
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in function.blocks:
+                for inst in reversed(list(block.instructions)):
+                    if _is_trivially_dead(inst):
+                        inst.erase_from_parent()
+                        self.stats.instructions_removed += 1
+                        progress = True
+                        changed = True
+            progress |= self._remove_dead_allocas(function)
+        return changed
+
+    def _remove_dead_allocas(self, function: Function) -> bool:
+        """Remove allocas that are only ever written, never read."""
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, AllocaInst):
+                    continue
+                users = [use.user for use in inst.uses]
+                only_stores = all(
+                    isinstance(u, StoreInst) and u.pointer is inst and
+                    u.value is not inst
+                    for u in users)
+                if users and not only_stores:
+                    continue
+                for user in list(users):
+                    if isinstance(user, Instruction):
+                        user.erase_from_parent()
+                        self.stats.instructions_removed += 1
+                inst.erase_from_parent()
+                self.stats.instructions_removed += 1
+                changed = True
+        return changed
+
+
+class GlobalDCE(Pass):
+    """Remove functions that can no longer be reached from the module roots.
+
+    After aggressive inlining (``-OVERIFY``), most library helpers have no
+    remaining callers; deleting them is what shrinks the "# instructions"
+    row of Table 1 and keeps the symbolic executor from wading through dead
+    definitions.
+    """
+
+    name = "globaldce"
+
+    def __init__(self, roots: Set[str] | None = None) -> None:
+        super().__init__()
+        #: Functions that must never be removed (program entry points).
+        self.roots = roots or {"main"}
+
+    def run_on_module(self, module: Module) -> bool:
+        from ..analysis import CallGraph
+
+        roots = {name for name in self.roots if name in module.functions}
+        if not roots:
+            # Without a known entry point it is not safe to delete anything.
+            return False
+        graph = CallGraph(module)
+        live = graph.reachable_from(sorted(roots))
+        changed = False
+        for function in list(module.functions.values()):
+            if function.name in live or function.name in self.roots:
+                continue
+            if function.num_uses > 0:
+                continue
+            for block in list(function.blocks):
+                for inst in list(block.instructions):
+                    inst.drop_all_references()
+                block.instructions = []
+            function.blocks = []
+            module.remove_function(function)
+            self.stats.functions_removed += 1
+            changed = True
+        return changed

@@ -1,0 +1,139 @@
+"""Global value numbering (dominance-based CSE) and redundant load removal.
+
+Eliminating recomputed expressions keeps symbolic expressions small and
+shared, and removing redundant loads reduces the number of memory accesses
+the verification tool must reason about — both effects the paper groups
+under "instruction simplification" and "remove/split memory accesses".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import AliasResult, DominatorTree, alias
+from ..ir import (
+    BasicBlock, BinaryInst, CallInst, CastInst, Function, GEPInst, ICmpInst,
+    Instruction, LoadInst, Opcode, PhiInst, SelectInst, StoreInst, Value,
+)
+from .pass_manager import Pass
+
+
+def _value_key(value: Value) -> Tuple:
+    from ..ir import ConstantInt
+    if isinstance(value, ConstantInt):
+        return ("const", str(value.type), value.value)
+    return ("val", id(value))
+
+
+def _expression_key(inst: Instruction) -> Optional[Tuple]:
+    """A hashable key identifying the computation an instruction performs.
+    Returns None for instructions that cannot be value numbered."""
+    if isinstance(inst, BinaryInst):
+        lhs = _value_key(inst.lhs)
+        rhs = _value_key(inst.rhs)
+        if inst.is_commutative and rhs < lhs:
+            lhs, rhs = rhs, lhs
+        return (inst.opcode.value, str(inst.type), lhs, rhs)
+    if isinstance(inst, ICmpInst):
+        return ("icmp", inst.predicate.value, _value_key(inst.lhs),
+                _value_key(inst.rhs))
+    if isinstance(inst, CastInst):
+        return (inst.opcode.value, str(inst.type), _value_key(inst.value))
+    if isinstance(inst, SelectInst):
+        return ("select", _value_key(inst.condition),
+                _value_key(inst.true_value), _value_key(inst.false_value))
+    if isinstance(inst, GEPInst):
+        return ("gep", _value_key(inst.base),
+                tuple(_value_key(i) for i in inst.indices))
+    return None
+
+
+class GlobalValueNumbering(Pass):
+    """Dominator-tree scoped hash-based CSE."""
+
+    name = "gvn"
+
+    def run_on_function(self, function: Function) -> bool:
+        if function.is_declaration:
+            return False
+        domtree = DominatorTree(function)
+        changed = self._number_values(function, domtree)
+        changed |= self._eliminate_redundant_loads(function)
+        return changed
+
+    # ------------------------------------------------------------- CSE
+    def _number_values(self, function: Function, domtree: DominatorTree) -> bool:
+        changed = False
+        available: Dict[Tuple, Instruction] = {}
+        # In a function with no stores and no calls, memory never changes, so
+        # loads behave like pure expressions and can be value numbered across
+        # blocks too (this is what makes the -OVERIFY loop body of the wc
+        # kernel fully branch-free after inlining).
+        memory_is_constant = not any(
+            isinstance(inst, (StoreInst, CallInst))
+            for inst in function.instructions())
+
+        def visit(block: BasicBlock) -> None:
+            nonlocal changed
+            added: List[Tuple] = []
+            for inst in list(block.instructions):
+                key = _expression_key(inst)
+                if key is None and memory_is_constant and \
+                        isinstance(inst, LoadInst):
+                    key = ("load", str(inst.type), _value_key(inst.pointer))
+                if key is None:
+                    continue
+                existing = available.get(key)
+                if existing is not None and existing.parent is not None:
+                    inst.replace_all_uses_with(existing)
+                    inst.erase_from_parent()
+                    self.stats.redundancies_eliminated += 1
+                    changed = True
+                else:
+                    available[key] = inst
+                    added.append(key)
+            for child in domtree.children.get(block, []):
+                visit(child)
+            for key in added:
+                available.pop(key, None)
+
+        if function.blocks:
+            visit(function.entry_block)
+        return changed
+
+    # ------------------------------------------------------- load removal
+    def _eliminate_redundant_loads(self, function: Function) -> bool:
+        """Within each block, forward stored values to subsequent loads of
+        the same address and drop repeated loads, killed by intervening
+        may-aliasing writes or calls."""
+        changed = False
+        for block in function.blocks:
+            #: address value id -> last known loaded/stored value
+            known: Dict[int, Tuple[Value, Value]] = {}
+            for inst in list(block.instructions):
+                if isinstance(inst, LoadInst):
+                    entry = known.get(id(inst.pointer))
+                    if entry is not None:
+                        inst.replace_all_uses_with(entry[1])
+                        inst.erase_from_parent()
+                        self.stats.redundancies_eliminated += 1
+                        changed = True
+                    else:
+                        known[id(inst.pointer)] = (inst.pointer, inst)
+                elif isinstance(inst, StoreInst):
+                    size = inst.value.type.size_in_bytes() \
+                        if not inst.value.type.is_void else 8
+                    for key, (pointer, _) in list(known.items()):
+                        other_size = 8
+                        ptr_ty = pointer.type
+                        from ..ir import PointerType
+                        if isinstance(ptr_ty, PointerType) and \
+                                not ptr_ty.pointee.is_void:
+                            other_size = ptr_ty.pointee.size_in_bytes()
+                        result = alias(inst.pointer, size, pointer, other_size)
+                        if result is not AliasResult.NO_ALIAS:
+                            del known[key]
+                    known[id(inst.pointer)] = (inst.pointer, inst.value)
+                elif isinstance(inst, CallInst):
+                    known.clear()
+        return changed

@@ -1,0 +1,13 @@
+"""repro.pipelines — optimization levels, pipelines, and the compiler driver."""
+
+from .levels import OSYMBEX, OptLevel, build_pipeline, pipeline_description
+from .compiler import (
+    CompilationResult, CompileOptions, compile_at_all_levels, compile_source,
+    link_sources,
+)
+
+__all__ = [
+    "OSYMBEX", "OptLevel", "build_pipeline", "pipeline_description",
+    "CompilationResult", "CompileOptions", "compile_at_all_levels",
+    "compile_source", "link_sources",
+]

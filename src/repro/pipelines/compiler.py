@@ -1,0 +1,121 @@
+"""The compiler driver: MiniC source -> optimized IR module.
+
+This is the public entry point a user of the library calls.  It mirrors the
+paper's Figure 3 build chain: the same source can be built in a debug
+configuration (``-O0``), a release configuration (``-O3``) or a verification
+configuration (``-OVERIFY``), and the -OVERIFY configuration additionally
+links the verification-optimized C library.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..frontend import analyze, lower, parse
+from ..ir import Module, verify_module
+from ..passes import TransformStats
+from ..vlibc import libc_source
+from .levels import OptLevel, build_pipeline
+
+
+@dataclass
+class CompileOptions:
+    """Options accepted by :func:`compile_source`."""
+
+    level: OptLevel = OptLevel.O0
+    #: Link the C library (most workloads need it; tiny kernels may not).
+    link_libc: bool = True
+    #: Override which libc variant is linked.  By default -OVERIFY links the
+    #: verification-optimized variant and every other level links the
+    #: execution-optimized one, exactly as §3 ("Library-level changes")
+    #: prescribes.
+    verification_libc: Optional[bool] = None
+    #: Functions that must survive dead-function elimination.
+    entry_points: Set[str] = field(default_factory=lambda: {"main"})
+    #: Run the IR verifier after every pass (slow; used in tests).
+    verify_after_each_pass: bool = False
+    #: Let -OVERIFY insert runtime checks (ablation knob).
+    enable_runtime_checks: bool = True
+    module_name: str = "program"
+
+
+@dataclass
+class CompilationResult:
+    """What the driver returns: the module plus compilation statistics."""
+
+    module: Module
+    level: OptLevel
+    compile_seconds: float
+    stats: TransformStats
+    instruction_count: int
+    source_size: int
+
+    def table3_row(self) -> Dict[str, int]:
+        return self.stats.table3_row()
+
+
+def link_sources(program_source: str, options: CompileOptions) -> str:
+    """Combine the program with the selected C library variant.
+
+    Linking is textual (a single translation unit), which mirrors how the
+    KLEE tool chain links its special uClibc before analysis.
+    """
+    if not options.link_libc:
+        return program_source
+    use_verification_libc = options.verification_libc
+    if use_verification_libc is None:
+        use_verification_libc = options.level.is_verification_oriented
+    return libc_source(use_verification_libc) + "\n" + program_source
+
+
+def compile_source(program_source: str,
+                   options: Optional[CompileOptions] = None,
+                   level: Optional[OptLevel] = None) -> CompilationResult:
+    """Compile MiniC ``program_source`` at the requested optimization level.
+
+    ``level`` is a convenience shortcut; when both ``options`` and ``level``
+    are given, ``level`` wins.
+    """
+    options = options or CompileOptions()
+    if level is not None:
+        options.level = level
+
+    start = time.perf_counter()
+    full_source = link_sources(program_source, options)
+    unit = parse(full_source)
+    analyze(unit)
+    module = lower(unit, options.module_name)
+    module.metadata["opt_level"] = str(options.level)
+
+    pipeline = build_pipeline(
+        options.level,
+        entry_points=options.entry_points,
+        verify_after_each=options.verify_after_each_pass,
+        enable_checks=options.enable_runtime_checks,
+    )
+    pipeline.run_until_fixpoint(module)
+    verify_module(module)
+    elapsed = time.perf_counter() - start
+
+    return CompilationResult(
+        module=module,
+        level=options.level,
+        compile_seconds=elapsed,
+        stats=pipeline.stats,
+        instruction_count=module.instruction_count(),
+        source_size=len(program_source),
+    )
+
+
+def compile_at_all_levels(program_source: str,
+                          levels: Optional[List[OptLevel]] = None,
+                          **option_kwargs) -> Dict[OptLevel, CompilationResult]:
+    """Compile the same source at several levels (the shape of Table 1/3)."""
+    levels = levels or [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
+    results: Dict[OptLevel, CompilationResult] = {}
+    for level in levels:
+        options = CompileOptions(level=level, **option_kwargs)
+        results[level] = compile_source(program_source, options)
+    return results

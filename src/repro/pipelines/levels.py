@@ -1,0 +1,199 @@
+"""Optimization levels and their pass pipelines.
+
+This module is the concrete realization of the paper's proposal: the same
+pass library is assembled into CPU-oriented pipelines (``-O1``/``-O2``/
+``-O3``) and into the verification-oriented ``-OVERIFY`` pipeline, which
+
+1. selects passes suitable for verification and inhibits harmful ones
+   (no CPU-specific scheduling; if-conversion and unswitching always on),
+2. re-tunes cost parameters (branches are expensive: huge if-conversion and
+   inlining thresholds, aggressive unrolling),
+3. preserves extra metadata (the annotation pass), and
+4. inserts runtime checks so that all failures become crashes.
+
+The fourth element of the paper's design — linking a verification-optimized
+C library — is handled by the driver in :mod:`repro.pipelines.compiler`,
+which selects the library variant from :mod:`repro.vlibc`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Set
+
+from ..passes import (
+    AnnotateForVerification, ConstantPropagation, DeadCodeElimination,
+    GlobalDCE, GlobalValueNumbering, IfConversion, IfConversionParams,
+    InlineParams, Inliner, InsertRuntimeChecks, InstCombine, JumpThreading,
+    LoopInvariantCodeMotion, LoopUnrolling, LoopUnswitching, Pass,
+    PassManager, PromoteMemoryToRegisters, ScalarReplacementOfAggregates,
+    SimplifyCFG, UnrollParams, UnswitchParams,
+)
+
+
+class OptLevel(enum.Enum):
+    """The optimization levels the paper's Table 1 and Table 3 compare."""
+
+    O0 = "-O0"
+    O1 = "-O1"
+    O2 = "-O2"
+    O3 = "-O3"
+    OVERIFY = "-OVERIFY"
+
+    @property
+    def is_verification_oriented(self) -> bool:
+        return self is OptLevel.OVERIFY
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The prototype's name for the symbolic-execution flavour of -OVERIFY.
+OSYMBEX = OptLevel.OVERIFY
+
+
+def _cleanup_passes() -> List[Pass]:
+    """The scalar cleanup bundle run between the structural passes."""
+    return [
+        ConstantPropagation(),
+        InstCombine(),
+        DeadCodeElimination(),
+        SimplifyCFG(),
+    ]
+
+
+def build_pipeline(level: OptLevel, entry_points: Optional[Set[str]] = None,
+                   verify_after_each: bool = False,
+                   enable_checks: bool = True) -> PassManager:
+    """Build the pass pipeline for ``level``.
+
+    Parameters
+    ----------
+    entry_points:
+        Functions that must survive dead-function elimination (defaults to
+        ``{"main"}`` plus whatever the workload declares as its entry).
+    verify_after_each:
+        Run the IR verifier after every pass (used by the test suite).
+    enable_checks:
+        Whether -OVERIFY inserts runtime checks (Table 2's "Generate runtime
+        checks" row); the ablation benchmarks toggle this.
+    """
+    roots = entry_points or {"main"}
+    manager = PassManager(verify_after_each=verify_after_each,
+                          max_iterations=3 if level is OptLevel.OVERIFY else 2)
+
+    if level is OptLevel.O0:
+        # -O0 only removes blocks the front end itself made unreachable
+        # (they would otherwise confuse the dominance-based analyses).
+        manager.add(SimplifyCFG())
+        return manager
+
+    if level is OptLevel.O1:
+        manager.extend([
+            SimplifyCFG(),
+            PromoteMemoryToRegisters(),
+            *_cleanup_passes(),
+        ])
+        return manager
+
+    if level is OptLevel.O2:
+        manager.extend([
+            SimplifyCFG(),
+            PromoteMemoryToRegisters(),
+            ScalarReplacementOfAggregates(),
+            PromoteMemoryToRegisters(),
+            *_cleanup_passes(),
+            Inliner(InlineParams(threshold=40, allow_loops=False)),
+            SimplifyCFG(),
+            PromoteMemoryToRegisters(),
+            *_cleanup_passes(),
+            GlobalValueNumbering(),
+            JumpThreading(),
+            LoopInvariantCodeMotion(),
+            *_cleanup_passes(),
+            GlobalDCE(roots),
+        ])
+        return manager
+
+    if level is OptLevel.O3:
+        manager.extend([
+            SimplifyCFG(),
+            PromoteMemoryToRegisters(),
+            ScalarReplacementOfAggregates(),
+            PromoteMemoryToRegisters(),
+            *_cleanup_passes(),
+            Inliner(InlineParams(threshold=45, allow_loops=True)),
+            SimplifyCFG(),
+            PromoteMemoryToRegisters(),
+            *_cleanup_passes(),
+            GlobalValueNumbering(),
+            JumpThreading(),
+            LoopInvariantCodeMotion(),
+            # A CPU-oriented build limits the code growth of unswitching.
+            LoopUnswitching(UnswitchParams(max_loop_size=40)),
+            *_cleanup_passes(),
+            LoopUnrolling(UnrollParams(max_trip_count=4,
+                                       max_unrolled_size=128)),
+            *_cleanup_passes(),
+            IfConversion(IfConversionParams(max_speculated_instructions=3)),
+            *_cleanup_passes(),
+            GlobalValueNumbering(),
+            DeadCodeElimination(),
+            GlobalDCE(roots),
+        ])
+        return manager
+
+    # ----------------------------------------------------------- -OVERIFY
+    assert level is OptLevel.OVERIFY
+    manager.extend([
+        SimplifyCFG(),
+        PromoteMemoryToRegisters(),
+        ScalarReplacementOfAggregates(),
+        PromoteMemoryToRegisters(),
+        *_cleanup_passes(),
+        # (2) adjusted cost values: branches are far more expensive than on a
+        # CPU, so inline almost everything and duplicate loops freely.
+        Inliner(InlineParams(threshold=5000, allow_loops=True,
+                             constant_arg_bonus=100)),
+        SimplifyCFG(),
+        PromoteMemoryToRegisters(),
+        *_cleanup_passes(),
+        GlobalValueNumbering(),
+        JumpThreading(),
+        LoopInvariantCodeMotion(),
+        # (1) passes suited to verification: convert every convertible branch
+        # *before* duplicating loops, so that loops whose bodies become
+        # branch-free do not need to be unswitched at all (Listing 2).
+        IfConversion(IfConversionParams(max_speculated_instructions=64,
+                                        speculate_safe_loads=True)),
+        *_cleanup_passes(),
+        GlobalValueNumbering(),
+        IfConversion(IfConversionParams(max_speculated_instructions=64,
+                                        speculate_safe_loads=True)),
+        *_cleanup_passes(),
+        LoopUnswitching(UnswitchParams(max_loop_size=400,
+                                       max_unswitches_per_function=16)),
+        *_cleanup_passes(),
+        LoopUnrolling(UnrollParams(max_trip_count=64,
+                                   max_unrolled_size=4096)),
+        *_cleanup_passes(),
+        IfConversion(IfConversionParams(max_speculated_instructions=64,
+                                        speculate_safe_loads=True)),
+        *_cleanup_passes(),
+        GlobalValueNumbering(),
+        DeadCodeElimination(),
+        GlobalDCE(roots),
+    ])
+    if enable_checks:
+        # (4 in §3's list) runtime checks make every failure a crash.
+        manager.add(InsertRuntimeChecks())
+        manager.add(SimplifyCFG())
+    # (3) preserve metadata for the verification tool.
+    manager.add(AnnotateForVerification())
+    return manager
+
+
+def pipeline_description(level: OptLevel) -> List[str]:
+    """Names of the passes in the pipeline for ``level`` (for documentation
+    and the build-chain example)."""
+    return [p.name for p in build_pipeline(level).passes]

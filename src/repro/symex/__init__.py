@@ -1,0 +1,31 @@
+"""repro.symex — a KLEE-style symbolic execution engine for the repro IR."""
+
+from .expr import Expr, ExprOp, mask, to_signed, unsigned_interval
+from .simplify import (
+    binary, bitwise_not, concat_bytes, const, extract_byte, false_expr, ite,
+    not_expr, sext, true_expr, trunc, var, zext,
+)
+from .memory import SymbolicMemory, SymbolicMemoryObject
+from .solver import Solver, SolverResult, SolverStats
+from .state import ExecutionState, StackFrame, StateStatus
+from .searcher import (
+    BFSSearcher, DFSSearcher, RandomSearcher, Searcher, make_searcher,
+)
+from .executor import (
+    BugReport, PathRecord, SymbolicExecutor, SymexLimits, SymexReport,
+    SymexStats, explore,
+)
+
+__all__ = [
+    "Expr", "ExprOp", "mask", "to_signed", "unsigned_interval",
+    "binary", "bitwise_not", "concat_bytes", "const", "extract_byte",
+    "false_expr", "ite", "not_expr", "sext", "true_expr", "trunc", "var",
+    "zext",
+    "SymbolicMemory", "SymbolicMemoryObject",
+    "Solver", "SolverResult", "SolverStats",
+    "ExecutionState", "StackFrame", "StateStatus",
+    "BFSSearcher", "DFSSearcher", "RandomSearcher", "Searcher",
+    "make_searcher",
+    "BugReport", "PathRecord", "SymbolicExecutor", "SymexLimits",
+    "SymexReport", "SymexStats", "explore",
+]

@@ -1,0 +1,679 @@
+"""The symbolic executor: a KLEE-style path-exploring interpreter for the
+repro IR.
+
+The executor treats designated input bytes as symbolic, interprets the
+program one path at a time, forks at branches whose condition can go both
+ways under the current path constraints, and reports every completed path
+and every detected bug together with a concrete test input that triggers it.
+
+Its performance characteristics deliberately mirror the paper's §4
+description: "The performance of symbolic execution tools is determined by
+the number of paths to explore and by the complexity of input-dependent
+branch conditions."  Both quantities are measured and exposed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..interp.errors import ErrorKind, ProgramError
+from ..ir import (
+    AllocaInst, Argument, BasicBlock, BinaryInst, BranchInst, CallInst,
+    CastInst, ConstantArray, ConstantInt, Function, GEPInst, GlobalVariable,
+    ICmpInst, ICmpPredicate, Instruction, IntType, LoadInst, Module, Opcode,
+    PhiInst, PointerType, ReturnInst, SelectInst, StoreInst, SwitchInst,
+    Type, UndefValue, UnreachableInst, Value,
+)
+from .expr import Expr, ExprOp
+from .memory import SymbolicMemory
+from .searcher import Searcher, make_searcher
+from .simplify import binary, const, ite, not_expr, sext, trunc, var, zext, bitwise_not
+from .solver import Solver, SolverStats
+from .state import ExecutionState, StackFrame, StateStatus
+
+POINTER_WIDTH = 64
+
+_BINARY_OPS = {
+    Opcode.ADD: ExprOp.ADD, Opcode.SUB: ExprOp.SUB, Opcode.MUL: ExprOp.MUL,
+    Opcode.UDIV: ExprOp.UDIV, Opcode.SDIV: ExprOp.SDIV,
+    Opcode.UREM: ExprOp.UREM, Opcode.SREM: ExprOp.SREM,
+    Opcode.AND: ExprOp.AND, Opcode.OR: ExprOp.OR, Opcode.XOR: ExprOp.XOR,
+    Opcode.SHL: ExprOp.SHL, Opcode.LSHR: ExprOp.LSHR, Opcode.ASHR: ExprOp.ASHR,
+}
+
+
+def _icmp_expr(predicate: ICmpPredicate, lhs: Expr, rhs: Expr) -> Expr:
+    if predicate is ICmpPredicate.EQ:
+        return binary(ExprOp.EQ, lhs, rhs)
+    if predicate is ICmpPredicate.NE:
+        return binary(ExprOp.NE, lhs, rhs)
+    if predicate is ICmpPredicate.ULT:
+        return binary(ExprOp.ULT, lhs, rhs)
+    if predicate is ICmpPredicate.ULE:
+        return binary(ExprOp.ULE, lhs, rhs)
+    if predicate is ICmpPredicate.UGT:
+        return binary(ExprOp.ULT, rhs, lhs)
+    if predicate is ICmpPredicate.UGE:
+        return binary(ExprOp.ULE, rhs, lhs)
+    if predicate is ICmpPredicate.SLT:
+        return binary(ExprOp.SLT, lhs, rhs)
+    if predicate is ICmpPredicate.SLE:
+        return binary(ExprOp.SLE, lhs, rhs)
+    if predicate is ICmpPredicate.SGT:
+        return binary(ExprOp.SLT, rhs, lhs)
+    if predicate is ICmpPredicate.SGE:
+        return binary(ExprOp.SLE, rhs, lhs)
+    raise ValueError(f"unknown predicate {predicate}")
+
+
+@dataclass
+class SymexLimits:
+    """Resource limits for one exploration run."""
+
+    max_paths: int = 100_000
+    max_instructions: int = 5_000_000
+    max_forks: int = 100_000
+    timeout_seconds: float = 3600.0
+    max_call_depth: int = 128
+
+
+@dataclass
+class BugReport:
+    """A detected bug plus a concrete input that triggers it."""
+
+    kind: ErrorKind
+    message: str
+    function: str
+    block: str
+    test_input: Optional[bytes] = None
+
+    def signature(self) -> Tuple[str, str, str]:
+        """A location-based identity used for cross-build bug comparison."""
+        return (self.kind.value, self.function, self.block)
+
+
+@dataclass
+class PathRecord:
+    """One fully explored path."""
+
+    state_id: int
+    status: StateStatus
+    constraint_count: int
+    instructions: int
+    test_input: Optional[bytes] = None
+    return_value: Optional[int] = None
+
+
+@dataclass
+class SymexStats:
+    """Aggregate statistics of one exploration run (Table 1's columns)."""
+
+    paths_completed: int = 0
+    paths_errored: int = 0
+    paths_terminated: int = 0
+    instructions_interpreted: int = 0
+    branches_encountered: int = 0
+    forks: int = 0
+    states_created: int = 1
+    max_live_states: int = 0
+    wall_seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def total_paths(self) -> int:
+        return self.paths_completed + self.paths_errored
+
+
+@dataclass
+class SymexReport:
+    """Everything one run of the executor produces."""
+
+    stats: SymexStats
+    solver_stats: SolverStats
+    paths: List[PathRecord] = field(default_factory=list)
+    bugs: List[BugReport] = field(default_factory=list)
+
+    def bug_signatures(self) -> set:
+        return {bug.signature() for bug in self.bugs}
+
+
+class SymbolicExecutor:
+    """Explores every feasible path of a module's entry function."""
+
+    def __init__(self, module: Module, entry: str = "main",
+                 searcher: Union[str, Searcher] = "dfs",
+                 solver: Optional[Solver] = None,
+                 limits: Optional[SymexLimits] = None) -> None:
+        self.module = module
+        self.entry = module.get_function(entry)
+        self.searcher = make_searcher(searcher) if isinstance(searcher, str) \
+            else searcher
+        self.solver = solver or Solver()
+        self.limits = limits or SymexLimits()
+        self.stats = SymexStats()
+        self.report = SymexReport(stats=self.stats,
+                                  solver_stats=self.solver.stats)
+        self._globals: Dict[str, int] = {}
+        self._input_variables: List[str] = []
+        self._start_time = 0.0
+
+    # --------------------------------------------------------------- setup
+    def make_initial_state(self, num_input_bytes: int) -> ExecutionState:
+        """Build the initial state: globals materialized, the entry function's
+        ``(unsigned char *input, int len)`` parameters bound to a buffer of
+        ``num_input_bytes`` symbolic bytes followed by a NUL terminator."""
+        state = ExecutionState()
+        self._initialize_globals(state.memory)
+
+        buffer_address = state.memory.allocate(num_input_bytes + 1,
+                                               name="symbolic_input")
+        symbolic_bytes = []
+        self._input_variables = []
+        for i in range(num_input_bytes):
+            name = f"in_{i}"
+            self._input_variables.append(name)
+            symbolic_bytes.append(var(8, name))
+        symbolic_bytes.append(const(8, 0))
+        state.memory.store_symbolic_bytes(buffer_address, symbolic_bytes)
+
+        frame = StackFrame(self.entry)
+        frame.block = self.entry.entry_block
+        arguments = self.entry.arguments
+        if arguments:
+            frame.values[id(arguments[0])] = const(POINTER_WIDTH, buffer_address)
+        if len(arguments) > 1:
+            arg_type = arguments[1].type
+            width = arg_type.width if isinstance(arg_type, IntType) else 32
+            frame.values[id(arguments[1])] = const(width, num_input_bytes)
+        for extra in arguments[2:]:
+            width = extra.type.width if isinstance(extra.type, IntType) \
+                else POINTER_WIDTH
+            frame.values[id(extra)] = const(width, 0)
+        state.push_frame(frame)
+        return state
+
+    def _initialize_globals(self, memory: SymbolicMemory) -> None:
+        self._globals = {}
+        for gv in self.module.globals.values():
+            size = gv.value_type.size_in_bytes()
+            address = memory.allocate(size, name=gv.name, writable=True)
+            if isinstance(gv.initializer, ConstantInt):
+                memory.store(address, const(8 * size, gv.initializer.value),
+                             size)
+            elif isinstance(gv.initializer, ConstantArray):
+                memory.store_concrete_bytes(address,
+                                            gv.initializer.as_bytes())
+            obj = memory.object_at(address)
+            if obj is not None:
+                obj.writable = not gv.is_constant
+            self._globals[gv.name] = address
+
+    # ----------------------------------------------------------------- run
+    def run(self, num_input_bytes: int) -> SymexReport:
+        """Exhaustively explore the entry function for the given symbolic
+        input size (subject to the configured limits)."""
+        self._start_time = time.perf_counter()
+        initial = self.make_initial_state(num_input_bytes)
+        self.searcher.add(initial)
+        while not self.searcher.empty():
+            if self._out_of_budget():
+                break
+            state = self.searcher.pop()
+            self._run_state(state)
+            self.stats.max_live_states = max(self.stats.max_live_states,
+                                             len(self.searcher) + 1)
+        # Anything left in the searcher when the budget ran out is terminated.
+        while not self.searcher.empty():
+            state = self.searcher.pop()
+            state.status = StateStatus.TERMINATED
+            self.stats.paths_terminated += 1
+        self.stats.wall_seconds = time.perf_counter() - self._start_time
+        return self.report
+
+    def _out_of_budget(self) -> bool:
+        if self.stats.total_paths >= self.limits.max_paths:
+            return True
+        if self.stats.instructions_interpreted >= self.limits.max_instructions:
+            self.stats.timed_out = True
+            return True
+        if self.stats.forks >= self.limits.max_forks:
+            self.stats.timed_out = True
+            return True
+        if time.perf_counter() - self._start_time > self.limits.timeout_seconds:
+            self.stats.timed_out = True
+            return True
+        return False
+
+    # ------------------------------------------------------------- stepping
+    def _run_state(self, state: ExecutionState) -> None:
+        """Run ``state`` until it forks (pushing both sides), finishes, or
+        hits an error."""
+        while state.status is StateStatus.RUNNING:
+            if self._out_of_budget():
+                state.status = StateStatus.TERMINATED
+                self.stats.paths_terminated += 1
+                return
+            frame = state.frame
+            block = frame.block
+            assert block is not None
+            if frame.index == 0:
+                self._evaluate_phis(state, block)
+                frame.index = len(block.phis())
+            if frame.index >= len(block.instructions):
+                state.status = StateStatus.ERROR
+                self._record_error(state, ProgramError(
+                    ErrorKind.UNREACHABLE_EXECUTED,
+                    f"block {block.name} fell through"))
+                return
+            inst = block.instructions[frame.index]
+            frame.index += 1
+            state.instructions_executed += 1
+            self.stats.instructions_interpreted += 1
+            try:
+                forked = self._execute(state, inst)
+            except ProgramError as error:
+                error.function = frame.function.name
+                error.block = block.name
+                self._record_error(state, error)
+                return
+            if forked:
+                return  # both sides were handed to the searcher
+        if state.status is StateStatus.COMPLETED:
+            self._record_completed(state)
+
+    def _evaluate_phis(self, state: ExecutionState, block: BasicBlock) -> None:
+        phis = block.phis()
+        if not phis:
+            return
+        frame = state.frame
+        assert frame.previous_block is not None or not phis
+        results: Dict[int, Expr] = {}
+        for phi in phis:
+            assert frame.previous_block is not None
+            value = phi.incoming_value_for(frame.previous_block)
+            results[id(phi)] = self._eval(state, value)
+            self.stats.instructions_interpreted += 1
+        frame.values.update(results)
+
+    # ---------------------------------------------------------- evaluation
+    def _eval(self, state: ExecutionState, value: Value) -> Expr:
+        if isinstance(value, ConstantInt):
+            ty = value.type
+            assert isinstance(ty, IntType)
+            return const(ty.width, value.value)
+        if isinstance(value, UndefValue):
+            width = value.type.size_in_bytes() * 8 \
+                if not value.type.is_void else 32
+            if isinstance(value.type, IntType):
+                width = value.type.width
+            return const(width, 0)
+        if isinstance(value, GlobalVariable):
+            return const(POINTER_WIDTH, self._globals[value.name])
+        if isinstance(value, (Instruction, Argument)):
+            return state.frame.values[id(value)]
+        raise ProgramError(ErrorKind.UNKNOWN_FUNCTION,
+                           f"cannot evaluate {value!r}")
+
+    @staticmethod
+    def _width_of(ty: Type) -> int:
+        if isinstance(ty, IntType):
+            return ty.width
+        if isinstance(ty, PointerType):
+            return POINTER_WIDTH
+        return 8 * ty.size_in_bytes()
+
+    # ------------------------------------------------------------ execute
+    def _execute(self, state: ExecutionState, inst: Instruction) -> bool:
+        """Execute one instruction; returns True if the state forked (and the
+        successors were already queued)."""
+        if isinstance(inst, BinaryInst):
+            self._execute_binary(state, inst)
+            return False
+        if isinstance(inst, ICmpInst):
+            lhs = self._eval(state, inst.lhs)
+            rhs = self._eval(state, inst.rhs)
+            state.bind(inst, _icmp_expr(inst.predicate, lhs, rhs))
+            return False
+        if isinstance(inst, SelectInst):
+            condition = self._eval(state, inst.condition)
+            then = self._eval(state, inst.true_value)
+            otherwise = self._eval(state, inst.false_value)
+            state.bind(inst, ite(condition, then, otherwise))
+            return False
+        if isinstance(inst, CastInst):
+            state.bind(inst, self._execute_cast(state, inst))
+            return False
+        if isinstance(inst, AllocaInst):
+            size = inst.allocated_type.size_in_bytes()
+            address = state.memory.allocate(size, name=inst.name or "alloca")
+            state.bind(inst, const(POINTER_WIDTH, address))
+            return False
+        if isinstance(inst, LoadInst):
+            size = inst.type.size_in_bytes()
+            address = self._concretize_address(state, inst.pointer, size)
+            loaded = state.memory.load(address, size)
+            width = self._width_of(inst.type)
+            if loaded.width > width:
+                loaded = trunc(loaded, width)
+            elif loaded.width < width:
+                loaded = zext(loaded, width)
+            state.bind(inst, loaded)
+            return False
+        if isinstance(inst, StoreInst):
+            size = inst.value.type.size_in_bytes()
+            address = self._concretize_address(state, inst.pointer, size)
+            value = self._eval(state, inst.value)
+            if value.width < 8 * size:
+                value = zext(value, 8 * size)
+            state.memory.store(address, value, size)
+            return False
+        if isinstance(inst, GEPInst):
+            base = self._eval(state, inst.base)
+            total = base
+            for index in inst.indices:
+                offset = self._eval(state, index)
+                if offset.width < POINTER_WIDTH:
+                    offset = sext(offset, POINTER_WIDTH)
+                elif offset.width > POINTER_WIDTH:
+                    offset = trunc(offset, POINTER_WIDTH)
+                total = binary(ExprOp.ADD, total, offset)
+            state.bind(inst, total)
+            return False
+        if isinstance(inst, CallInst):
+            return self._execute_call(state, inst)
+        if isinstance(inst, BranchInst):
+            return self._execute_branch(state, inst)
+        if isinstance(inst, SwitchInst):
+            return self._execute_switch(state, inst)
+        if isinstance(inst, ReturnInst):
+            self._execute_return(state, inst)
+            return False
+        if isinstance(inst, UnreachableInst):
+            raise ProgramError(ErrorKind.UNREACHABLE_EXECUTED, "")
+        if isinstance(inst, PhiInst):
+            # Phis are evaluated at block entry; reaching one here means the
+            # index bookkeeping is off.
+            raise ProgramError(ErrorKind.UNREACHABLE_EXECUTED,
+                               "phi executed out of order")
+        raise ProgramError(ErrorKind.UNKNOWN_FUNCTION,
+                           f"cannot execute {inst.opcode.value}")
+
+    # ----------------------------------------------------------- operators
+    def _execute_binary(self, state: ExecutionState, inst: BinaryInst) -> None:
+        lhs = self._eval(state, inst.lhs)
+        rhs = self._eval(state, inst.rhs)
+        if inst.opcode in (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM):
+            self._check_division(state, inst, rhs)
+        state.bind(inst, binary(_BINARY_OPS[inst.opcode], lhs, rhs))
+
+    def _check_division(self, state: ExecutionState, inst: BinaryInst,
+                        divisor: Expr) -> None:
+        zero = const(divisor.width, 0)
+        if divisor.is_constant:
+            if divisor.value == 0:
+                raise ProgramError(ErrorKind.DIVISION_BY_ZERO, "")
+            return
+        is_zero = binary(ExprOp.EQ, divisor, zero)
+        if self.solver.may_be_true(state.constraints, is_zero):
+            # Fork an error path on which the divisor is zero.
+            error_state = state.fork()
+            self.stats.forks += 1
+            self.stats.states_created += 1
+            error_state.add_constraint(is_zero)
+            error = ProgramError(ErrorKind.DIVISION_BY_ZERO, "",
+                                 state.frame.function.name,
+                                 state.frame.block.name
+                                 if state.frame.block else "")
+            self._record_error(error_state, error)
+        state.add_constraint(not_expr(is_zero))
+
+    def _execute_cast(self, state: ExecutionState, inst: CastInst) -> Expr:
+        value = self._eval(state, inst.value)
+        target_width = self._width_of(inst.type)
+        if inst.opcode is Opcode.ZEXT:
+            return zext(value, target_width)
+        if inst.opcode is Opcode.SEXT:
+            return sext(value, target_width)
+        if inst.opcode is Opcode.TRUNC:
+            return trunc(value, target_width)
+        if inst.opcode in (Opcode.BITCAST, Opcode.PTRTOINT, Opcode.INTTOPTR):
+            if value.width < target_width:
+                return zext(value, target_width)
+            if value.width > target_width:
+                return trunc(value, target_width)
+            return value
+        raise ProgramError(ErrorKind.UNKNOWN_FUNCTION,
+                           f"unknown cast {inst.opcode.value}")
+
+    # ----------------------------------------------------------- memory
+    def _concretize_address(self, state: ExecutionState, pointer: Value,
+                            access_size: int = 1) -> int:
+        """Return a concrete address for a pointer operand.
+
+        For a symbolic address the executor first checks, KLEE-style, whether
+        the address can fall outside the bounds of the object a feasible
+        value points into; if so, an error path is forked and reported.  The
+        continuing state is then constrained to one concrete in-bounds value.
+        """
+        address = self._eval(state, pointer)
+        if address.is_constant:
+            return address.value
+        model = self.solver.get_model(state.constraints) or {}
+        concrete = address.evaluate({name: model.get(name, 0)
+                                     for name in address.variables()})
+        obj = state.memory.object_at(concrete)
+        if obj is not None:
+            low = const(address.width, obj.base)
+            high = const(address.width, obj.base + obj.size - access_size)
+            out_of_bounds = binary(
+                ExprOp.OR,
+                binary(ExprOp.ULT, address, low),
+                binary(ExprOp.ULT, high, address))
+            if self.solver.may_be_true(state.constraints, out_of_bounds):
+                error_state = state.fork()
+                self.stats.forks += 1
+                self.stats.states_created += 1
+                error_state.add_constraint(out_of_bounds)
+                error = ProgramError(
+                    ErrorKind.OUT_OF_BOUNDS,
+                    f"symbolic address may leave object '{obj.name}'",
+                    state.frame.function.name,
+                    state.frame.block.name if state.frame.block else "")
+                self._record_error(error_state, error)
+                state.add_constraint(not_expr(out_of_bounds))
+        state.add_constraint(binary(ExprOp.EQ, address,
+                                    const(address.width, concrete)))
+        return concrete
+
+    # ----------------------------------------------------------- calls
+    def _execute_call(self, state: ExecutionState, inst: CallInst) -> bool:
+        callee = inst.callee
+        if not isinstance(callee, Function):
+            raise ProgramError(ErrorKind.UNKNOWN_FUNCTION,
+                               "indirect calls are not supported")
+        if callee.is_declaration:
+            self._execute_intrinsic(state, inst, callee)
+            return False
+        if len(state.stack) >= self.limits.max_call_depth:
+            raise ProgramError(ErrorKind.STACK_OVERFLOW, callee.name)
+        frame = StackFrame(callee, call_site=inst)
+        frame.block = callee.entry_block
+        for argument, actual in zip(callee.arguments, inst.args):
+            frame.values[id(argument)] = self._eval(state, actual)
+        state.push_frame(frame)
+        return False
+
+    def _execute_intrinsic(self, state: ExecutionState, inst: CallInst,
+                           callee: Function) -> None:
+        name = callee.name
+        if name in ("__overify_check_fail", "abort", "__assert_fail"):
+            kind = ErrorKind.CHECK_FAILURE if name != "__assert_fail" \
+                else ErrorKind.ASSERTION_FAILURE
+            raise ProgramError(kind, name)
+        if name in ("klee_silent_exit", "exit"):
+            state.status = StateStatus.COMPLETED
+            state.return_value = const(32, 0)
+            return
+        # Unknown external functions return an unconstrained fresh symbol
+        # (KLEE would complain; we model them as havoc).
+        if not inst.type.is_void:
+            width = self._width_of(inst.type)
+            fresh = var(width, f"ext_{name}_{state.instructions_executed}")
+            state.bind(inst, fresh)
+
+    def _execute_return(self, state: ExecutionState, inst: ReturnInst) -> None:
+        value = self._eval(state, inst.value) if inst.value is not None else None
+        finished_frame = state.pop_frame()
+        if not state.stack:
+            state.status = StateStatus.COMPLETED
+            state.return_value = value
+            return
+        call_site = finished_frame.call_site
+        if call_site is not None and not call_site.type.is_void and \
+                value is not None:
+            state.frame.values[id(call_site)] = value
+
+    # ----------------------------------------------------------- branches
+    def _execute_branch(self, state: ExecutionState, inst: BranchInst) -> bool:
+        if not inst.is_conditional:
+            state.jump_to(inst.true_target)
+            return False
+        self.stats.branches_encountered += 1
+        condition = self._eval(state, inst.condition)
+        if condition.is_constant:
+            state.jump_to(inst.true_target if condition.value
+                          else inst.false_target)
+            return False
+        can_true = self.solver.may_be_true(state.constraints, condition)
+        can_false = self.solver.may_be_false(state.constraints, condition)
+        if can_true and not can_false:
+            state.add_constraint(condition)
+            state.jump_to(inst.true_target)
+            return False
+        if can_false and not can_true:
+            state.add_constraint(not_expr(condition))
+            state.jump_to(inst.false_target)
+            return False
+        if not can_true and not can_false:
+            # The path constraints are themselves unsatisfiable; kill silently.
+            state.status = StateStatus.TERMINATED
+            self.stats.paths_terminated += 1
+            return False
+        # Fork: explore both directions.
+        self.stats.forks += 1
+        self.stats.states_created += 1
+        false_state = state.fork()
+        false_state.add_constraint(not_expr(condition))
+        false_state.jump_to(inst.false_target)
+        false_state.depth += 1
+        state.add_constraint(condition)
+        state.jump_to(inst.true_target)
+        state.depth += 1
+        self.searcher.add(false_state)
+        self.searcher.add(state)
+        return True
+
+    def _execute_switch(self, state: ExecutionState, inst: SwitchInst) -> bool:
+        self.stats.branches_encountered += 1
+        value = self._eval(state, inst.value)
+        if value.is_constant:
+            for case_const, target in inst.cases():
+                if isinstance(case_const, ConstantInt) and \
+                        case_const.value == value.value:
+                    state.jump_to(target)
+                    return False
+            state.jump_to(inst.default)
+            return False
+        feasible: List[Tuple[Expr, BasicBlock]] = []
+        default_constraint: List[Expr] = []
+        for case_const, target in inst.cases():
+            assert isinstance(case_const, ConstantInt)
+            equals = binary(ExprOp.EQ, value,
+                            const(value.width, case_const.value))
+            default_constraint.append(not_expr(equals))
+            if self.solver.may_be_true(state.constraints, equals):
+                feasible.append((equals, target))
+        default_feasible = self.solver.is_satisfiable(
+            state.constraints + default_constraint)
+        targets: List[Tuple[List[Expr], BasicBlock]] = [
+            ([expr], target) for expr, target in feasible]
+        if default_feasible:
+            targets.append((default_constraint, inst.default))
+        if not targets:
+            state.status = StateStatus.TERMINATED
+            self.stats.paths_terminated += 1
+            return False
+        # The first feasible target continues on this state; the rest fork.
+        for extra_constraints, target in targets[1:]:
+            forked = state.fork()
+            self.stats.forks += 1
+            self.stats.states_created += 1
+            for constraint in extra_constraints:
+                forked.add_constraint(constraint)
+            forked.jump_to(target)
+            self.searcher.add(forked)
+        first_constraints, first_target = targets[0]
+        for constraint in first_constraints:
+            state.add_constraint(constraint)
+        state.jump_to(first_target)
+        if len(targets) > 1:
+            self.searcher.add(state)
+            return True
+        return False
+
+    # ----------------------------------------------------------- reporting
+    def _test_input_for(self, state: ExecutionState) -> Optional[bytes]:
+        """A concrete input satisfying the state's path constraints."""
+        if not self._input_variables:
+            return b""
+        model = self.solver.get_model(state.constraints)
+        if model is None:
+            return None
+        return bytes(model.get(name, 0) & 0xFF
+                     for name in self._input_variables)
+
+    def _record_completed(self, state: ExecutionState) -> None:
+        self.stats.paths_completed += 1
+        return_value: Optional[int] = None
+        if state.return_value is not None and state.return_value.is_constant:
+            return_value = state.return_value.value
+        self.report.paths.append(PathRecord(
+            state_id=state.state_id,
+            status=StateStatus.COMPLETED,
+            constraint_count=len(state.constraints),
+            instructions=state.instructions_executed,
+            test_input=self._test_input_for(state),
+            return_value=return_value,
+        ))
+
+    def _record_error(self, state: ExecutionState, error: ProgramError) -> None:
+        state.status = StateStatus.ERROR
+        state.error = error
+        self.stats.paths_errored += 1
+        test_input = self._test_input_for(state)
+        self.report.paths.append(PathRecord(
+            state_id=state.state_id,
+            status=StateStatus.ERROR,
+            constraint_count=len(state.constraints),
+            instructions=state.instructions_executed,
+            test_input=test_input,
+        ))
+        self.report.bugs.append(BugReport(
+            kind=error.kind,
+            message=error.message,
+            function=error.function,
+            block=error.block,
+            test_input=test_input,
+        ))
+
+
+def explore(module: Module, num_input_bytes: int, entry: str = "main",
+            searcher: str = "dfs", limits: Optional[SymexLimits] = None,
+            solver: Optional[Solver] = None) -> SymexReport:
+    """Convenience wrapper: symbolically execute ``entry`` with
+    ``num_input_bytes`` of symbolic input and return the report."""
+    executor = SymbolicExecutor(module, entry=entry, searcher=searcher,
+                                limits=limits, solver=solver)
+    return executor.run(num_input_bytes)

@@ -1,0 +1,288 @@
+"""Symbolic expressions over bitvectors.
+
+Expressions are immutable, structurally hashable trees.  The constructors in
+:mod:`repro.symex.simplify` perform light canonicalization/constant folding;
+the solver consumes expressions directly.
+
+Widths follow the IR: 1, 8, 16, 32, 64 bit unsigned bitvectors with two's
+complement signed interpretations where needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+
+class ExprOp(enum.Enum):
+    """Operators of the expression language."""
+
+    CONST = "const"
+    VAR = "var"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    SDIV = "sdiv"
+    UREM = "urem"
+    SREM = "srem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    SLT = "slt"
+    SLE = "sle"
+    ZEXT = "zext"
+    SEXT = "sext"
+    TRUNC = "trunc"
+    ITE = "ite"
+    NOT = "not"  # bitwise not
+
+
+COMPARISON_OPS = {ExprOp.EQ, ExprOp.NE, ExprOp.ULT, ExprOp.ULE,
+                  ExprOp.SLT, ExprOp.SLE}
+COMMUTATIVE_OPS = {ExprOp.ADD, ExprOp.MUL, ExprOp.AND, ExprOp.OR, ExprOp.XOR,
+                   ExprOp.EQ, ExprOp.NE}
+
+
+def mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+class Expr:
+    """An immutable bitvector expression."""
+
+    __slots__ = ("op", "width", "operands", "value", "name", "_hash", "_vars")
+
+    def __init__(self, op: ExprOp, width: int,
+                 operands: Tuple["Expr", ...] = (),
+                 value: int = 0, name: str = "") -> None:
+        self.op = op
+        self.width = width
+        self.operands = operands
+        self.value = value & mask(width) if op is ExprOp.CONST else value
+        self.name = name
+        self._hash: Optional[int] = None
+        self._vars: Optional[FrozenSet[str]] = None
+
+    # ----------------------------------------------------------- identity
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.op, self.width, self.value, self.name,
+                               self.operands))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return (self.op is other.op and self.width == other.width and
+                self.value == other.value and self.name == other.name and
+                self.operands == other.operands)
+
+    # ----------------------------------------------------------- queries
+    @property
+    def is_constant(self) -> bool:
+        return self.op is ExprOp.CONST
+
+    @property
+    def is_true(self) -> bool:
+        return self.op is ExprOp.CONST and self.width == 1 and self.value == 1
+
+    @property
+    def is_false(self) -> bool:
+        return self.op is ExprOp.CONST and self.width == 1 and self.value == 0
+
+    @property
+    def is_symbolic(self) -> bool:
+        return not self.is_constant
+
+    def variables(self) -> FrozenSet[str]:
+        """Names of the symbolic variables the expression depends on."""
+        if self._vars is None:
+            if self.op is ExprOp.VAR:
+                self._vars = frozenset((self.name,))
+            elif self.op is ExprOp.CONST:
+                self._vars = frozenset()
+            else:
+                names: set = set()
+                for operand in self.operands:
+                    names |= operand.variables()
+                self._vars = frozenset(names)
+        return self._vars
+
+    def size(self) -> int:
+        """Number of nodes in the expression tree."""
+        return 1 + sum(op.size() for op in self.operands)
+
+    # ----------------------------------------------------------- evaluation
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate under a concrete assignment of every variable."""
+        op = self.op
+        if op is ExprOp.CONST:
+            return self.value
+        if op is ExprOp.VAR:
+            try:
+                return assignment[self.name] & mask(self.width)
+            except KeyError as exc:
+                raise KeyError(f"no value for symbolic variable {self.name}") \
+                    from exc
+        if op is ExprOp.ITE:
+            condition = self.operands[0].evaluate(assignment)
+            chosen = self.operands[1] if condition else self.operands[2]
+            return chosen.evaluate(assignment)
+        if op in (ExprOp.ZEXT, ExprOp.TRUNC):
+            return self.operands[0].evaluate(assignment) & mask(self.width)
+        if op is ExprOp.SEXT:
+            inner = self.operands[0]
+            return to_signed(inner.evaluate(assignment), inner.width) & \
+                mask(self.width)
+        if op is ExprOp.NOT:
+            return (~self.operands[0].evaluate(assignment)) & mask(self.width)
+
+        lhs = self.operands[0].evaluate(assignment)
+        rhs = self.operands[1].evaluate(assignment)
+        w = self.operands[0].width
+        if op is ExprOp.ADD:
+            return (lhs + rhs) & mask(self.width)
+        if op is ExprOp.SUB:
+            return (lhs - rhs) & mask(self.width)
+        if op is ExprOp.MUL:
+            return (lhs * rhs) & mask(self.width)
+        if op is ExprOp.AND:
+            return lhs & rhs
+        if op is ExprOp.OR:
+            return lhs | rhs
+        if op is ExprOp.XOR:
+            return lhs ^ rhs
+        if op is ExprOp.SHL:
+            return (lhs << (rhs % self.width)) & mask(self.width)
+        if op is ExprOp.LSHR:
+            return lhs >> (rhs % self.width)
+        if op is ExprOp.ASHR:
+            return (to_signed(lhs, w) >> (rhs % self.width)) & mask(self.width)
+        if op is ExprOp.UDIV:
+            return (lhs // rhs) & mask(self.width) if rhs else 0
+        if op is ExprOp.UREM:
+            return (lhs % rhs) & mask(self.width) if rhs else lhs
+        if op is ExprOp.SDIV:
+            if rhs == 0:
+                return 0
+            return int(to_signed(lhs, w) / to_signed(rhs, w)) & mask(self.width)
+        if op is ExprOp.SREM:
+            if rhs == 0:
+                return lhs
+            slhs, srhs = to_signed(lhs, w), to_signed(rhs, w)
+            return (slhs - int(slhs / srhs) * srhs) & mask(self.width)
+        if op is ExprOp.EQ:
+            return int(lhs == rhs)
+        if op is ExprOp.NE:
+            return int(lhs != rhs)
+        if op is ExprOp.ULT:
+            return int(lhs < rhs)
+        if op is ExprOp.ULE:
+            return int(lhs <= rhs)
+        if op is ExprOp.SLT:
+            return int(to_signed(lhs, w) < to_signed(rhs, w))
+        if op is ExprOp.SLE:
+            return int(to_signed(lhs, w) <= to_signed(rhs, w))
+        raise ValueError(f"cannot evaluate {op}")
+
+    # ----------------------------------------------------------- rendering
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Expr {self.render()}>"
+
+    def render(self) -> str:
+        """Human-readable rendering (prefix form)."""
+        if self.op is ExprOp.CONST:
+            return f"{self.value}:{self.width}"
+        if self.op is ExprOp.VAR:
+            return f"{self.name}:{self.width}"
+        inner = " ".join(op.render() for op in self.operands)
+        return f"({self.op.value}.{self.width} {inner})"
+
+
+# --------------------------------------------------------------------------
+# Interval analysis over expressions (used by the solver's fast path).
+# --------------------------------------------------------------------------
+def unsigned_interval(expr: Expr) -> Tuple[int, int]:
+    """A conservative [low, high] unsigned interval for ``expr`` assuming all
+    variables are unconstrained."""
+    op = expr.op
+    full = (0, mask(expr.width))
+    if op is ExprOp.CONST:
+        return (expr.value, expr.value)
+    if op is ExprOp.VAR:
+        return full
+    if op is ExprOp.ZEXT:
+        return unsigned_interval(expr.operands[0])
+    if op is ExprOp.ITE:
+        low1, high1 = unsigned_interval(expr.operands[1])
+        low2, high2 = unsigned_interval(expr.operands[2])
+        return (min(low1, low2), max(high1, high2))
+    if op in COMPARISON_OPS:
+        # The comparison's own value is a boolean; try to decide it from the
+        # operand intervals.
+        lhs_low, lhs_high = unsigned_interval(expr.operands[0])
+        rhs_low, rhs_high = unsigned_interval(expr.operands[1])
+        if op is ExprOp.ULT:
+            if lhs_high < rhs_low:
+                return (1, 1)
+            if lhs_low >= rhs_high:
+                return (0, 0)
+        elif op is ExprOp.ULE:
+            if lhs_high <= rhs_low:
+                return (1, 1)
+            if lhs_low > rhs_high:
+                return (0, 0)
+        elif op is ExprOp.EQ:
+            if lhs_low == lhs_high == rhs_low == rhs_high:
+                return (1, 1)
+            if lhs_high < rhs_low or rhs_high < lhs_low:
+                return (0, 0)
+        elif op is ExprOp.NE:
+            if lhs_high < rhs_low or rhs_high < lhs_low:
+                return (1, 1)
+            if lhs_low == lhs_high == rhs_low == rhs_high:
+                return (0, 0)
+        return (0, 1)
+    if op is ExprOp.AND:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        return (0, min(high1, high2))
+    if op is ExprOp.OR:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        bits = max(high1.bit_length(), high2.bit_length())
+        return (max(low1, low2), min(mask(expr.width),
+                                     (1 << bits) - 1 if bits else 0))
+    if op is ExprOp.ADD:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        if high1 + high2 <= mask(expr.width):
+            return (low1 + low2, high1 + high2)
+        return full
+    if op is ExprOp.MUL:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        if high1 * high2 <= mask(expr.width):
+            return (low1 * low2, high1 * high2)
+        return full
+    if op is ExprOp.LSHR:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        return (0, high1)
+    return full

@@ -1,0 +1,239 @@
+"""Smart constructors for symbolic expressions.
+
+Every expression built by the executor goes through these constructors,
+which perform constant folding and light algebraic canonicalization.  This
+mirrors KLEE's ``ExprBuilder`` layer and is what keeps constraint sizes
+proportional to the (optimized) program rather than to the raw instruction
+stream — the better the compiler simplifies the program, the smaller the
+expressions that reach the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .expr import COMPARISON_OPS, Expr, ExprOp, mask, to_signed
+
+
+def const(width: int, value: int) -> Expr:
+    return Expr(ExprOp.CONST, width, value=value)
+
+
+def true_expr() -> Expr:
+    return const(1, 1)
+
+
+def false_expr() -> Expr:
+    return const(1, 0)
+
+
+def var(width: int, name: str) -> Expr:
+    return Expr(ExprOp.VAR, width, name=name)
+
+
+def _fold_binary(op: ExprOp, width: int, lhs: int, rhs: int,
+                 operand_width: int) -> int:
+    if op is ExprOp.ADD:
+        return (lhs + rhs) & mask(width)
+    if op is ExprOp.SUB:
+        return (lhs - rhs) & mask(width)
+    if op is ExprOp.MUL:
+        return (lhs * rhs) & mask(width)
+    if op is ExprOp.AND:
+        return lhs & rhs
+    if op is ExprOp.OR:
+        return lhs | rhs
+    if op is ExprOp.XOR:
+        return lhs ^ rhs
+    if op is ExprOp.SHL:
+        return (lhs << (rhs % width)) & mask(width)
+    if op is ExprOp.LSHR:
+        return lhs >> (rhs % width)
+    if op is ExprOp.ASHR:
+        return (to_signed(lhs, width) >> (rhs % width)) & mask(width)
+    if op is ExprOp.UDIV:
+        return (lhs // rhs) & mask(width) if rhs else 0
+    if op is ExprOp.UREM:
+        return (lhs % rhs) & mask(width) if rhs else lhs
+    if op is ExprOp.SDIV:
+        if rhs == 0:
+            return 0
+        return int(to_signed(lhs, width) / to_signed(rhs, width)) & mask(width)
+    if op is ExprOp.SREM:
+        if rhs == 0:
+            return lhs
+        slhs, srhs = to_signed(lhs, width), to_signed(rhs, width)
+        return (slhs - int(slhs / srhs) * srhs) & mask(width)
+    if op is ExprOp.EQ:
+        return int(lhs == rhs)
+    if op is ExprOp.NE:
+        return int(lhs != rhs)
+    if op is ExprOp.ULT:
+        return int(lhs < rhs)
+    if op is ExprOp.ULE:
+        return int(lhs <= rhs)
+    if op is ExprOp.SLT:
+        return int(to_signed(lhs, operand_width) < to_signed(rhs, operand_width))
+    if op is ExprOp.SLE:
+        return int(to_signed(lhs, operand_width) <= to_signed(rhs, operand_width))
+    raise ValueError(f"not a binary operator: {op}")
+
+
+def binary(op: ExprOp, lhs: Expr, rhs: Expr) -> Expr:
+    """Build a binary expression with folding and identity simplification."""
+    width = 1 if op in COMPARISON_OPS else lhs.width
+    if lhs.is_constant and rhs.is_constant:
+        return const(width, _fold_binary(op, width if op not in COMPARISON_OPS
+                                         else lhs.width,
+                                         lhs.value, rhs.value, lhs.width))
+
+    # Canonicalize: constants on the right for commutative operators.
+    if op in (ExprOp.ADD, ExprOp.MUL, ExprOp.AND, ExprOp.OR, ExprOp.XOR,
+              ExprOp.EQ, ExprOp.NE) and lhs.is_constant:
+        lhs, rhs = rhs, lhs
+
+    if rhs.is_constant:
+        rv = rhs.value
+        if op is ExprOp.ADD and rv == 0:
+            return lhs
+        if op is ExprOp.SUB and rv == 0:
+            return lhs
+        if op is ExprOp.MUL:
+            if rv == 0:
+                return const(width, 0)
+            if rv == 1:
+                return lhs
+        if op is ExprOp.AND:
+            if rv == 0:
+                return const(width, 0)
+            if rv == mask(width):
+                return lhs
+        if op is ExprOp.OR:
+            if rv == 0:
+                return lhs
+            if rv == mask(width):
+                return const(width, mask(width))
+        if op is ExprOp.XOR and rv == 0:
+            return lhs
+        if op in (ExprOp.SHL, ExprOp.LSHR, ExprOp.ASHR) and rv == 0:
+            return lhs
+        if op is ExprOp.UDIV and rv == 1:
+            return lhs
+
+    if lhs is rhs or lhs == rhs:
+        if op is ExprOp.SUB or op is ExprOp.XOR:
+            return const(width, 0)
+        if op in (ExprOp.AND, ExprOp.OR):
+            return lhs
+        if op in (ExprOp.EQ, ExprOp.ULE, ExprOp.SLE):
+            return true_expr()
+        if op in (ExprOp.NE, ExprOp.ULT, ExprOp.SLT):
+            return false_expr()
+
+    # (zext x) == 0  ->  x == 0 over the narrower width; helps the solver
+    # keep constraints on the original input bytes.
+    if op in (ExprOp.EQ, ExprOp.NE) and rhs.is_constant and \
+            lhs.op is ExprOp.ZEXT:
+        inner = lhs.operands[0]
+        if rhs.value <= mask(inner.width):
+            return binary(op, inner, const(inner.width, rhs.value))
+
+    # Boolean simplifications for width-1 operands.
+    if width == 1 and lhs.width == 1:
+        if op is ExprOp.EQ and rhs.is_constant:
+            return lhs if rhs.value == 1 else not_expr(lhs)
+        if op is ExprOp.NE and rhs.is_constant:
+            return not_expr(lhs) if rhs.value == 1 else lhs
+
+    return Expr(op, width, (lhs, rhs))
+
+
+def not_expr(operand: Expr) -> Expr:
+    """Logical negation of a width-1 expression."""
+    assert operand.width == 1
+    if operand.is_constant:
+        return const(1, 1 - operand.value)
+    if operand.op is ExprOp.XOR and operand.operands[1].is_constant and \
+            operand.operands[1].value == 1:
+        return operand.operands[0]
+    # not (a == b) -> a != b, etc., keeps constraints in comparison form.
+    negations = {ExprOp.EQ: ExprOp.NE, ExprOp.NE: ExprOp.EQ}
+    if operand.op in negations:
+        return Expr(negations[operand.op], 1, operand.operands)
+    return binary(ExprOp.XOR, operand, const(1, 1))
+
+
+def bitwise_not(operand: Expr) -> Expr:
+    if operand.is_constant:
+        return const(operand.width, ~operand.value)
+    return Expr(ExprOp.NOT, operand.width, (operand,))
+
+
+def zext(operand: Expr, width: int) -> Expr:
+    if width == operand.width:
+        return operand
+    if operand.is_constant:
+        return const(width, operand.value)
+    if operand.op is ExprOp.ZEXT:
+        return zext(operand.operands[0], width)
+    return Expr(ExprOp.ZEXT, width, (operand,))
+
+
+def sext(operand: Expr, width: int) -> Expr:
+    if width == operand.width:
+        return operand
+    if operand.is_constant:
+        return const(width, to_signed(operand.value, operand.width))
+    return Expr(ExprOp.SEXT, width, (operand,))
+
+
+def trunc(operand: Expr, width: int) -> Expr:
+    if width == operand.width:
+        return operand
+    if operand.is_constant:
+        return const(width, operand.value)
+    if operand.op in (ExprOp.ZEXT, ExprOp.SEXT):
+        inner = operand.operands[0]
+        if inner.width == width:
+            return inner
+        if inner.width > width:
+            return trunc(inner, width)
+    return Expr(ExprOp.TRUNC, width, (operand,))
+
+
+def ite(condition: Expr, then: Expr, otherwise: Expr) -> Expr:
+    """If-then-else (the symbolic counterpart of the IR's ``select``)."""
+    assert condition.width == 1
+    if condition.is_constant:
+        return then if condition.value else otherwise
+    if then == otherwise:
+        return then
+    if then.width == 1 and then.is_constant and otherwise.is_constant:
+        if then.value == 1 and otherwise.value == 0:
+            return condition
+        if then.value == 0 and otherwise.value == 1:
+            return not_expr(condition)
+    return Expr(ExprOp.ITE, then.width, (condition, then, otherwise))
+
+
+def concat_bytes(byte_exprs) -> Expr:
+    """Combine little-endian byte expressions into one wide expression."""
+    byte_list = list(byte_exprs)
+    width = 8 * len(byte_list)
+    result: Optional[Expr] = None
+    for index, byte in enumerate(byte_list):
+        extended = zext(byte, width)
+        if index:
+            extended = binary(ExprOp.SHL, extended, const(width, 8 * index))
+        result = extended if result is None else binary(ExprOp.OR, result,
+                                                        extended)
+    return result if result is not None else const(8, 0)
+
+
+def extract_byte(value: Expr, index: int) -> Expr:
+    """Extract byte ``index`` (little-endian) of ``value`` as a width-8 expr."""
+    if value.is_constant:
+        return const(8, (value.value >> (8 * index)) & 0xFF)
+    shifted = value if index == 0 else binary(
+        ExprOp.LSHR, value, const(value.width, 8 * index))
+    return trunc(shifted, 8)

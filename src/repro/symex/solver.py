@@ -1,0 +1,293 @@
+"""The constraint solver used by the symbolic executor.
+
+KLEE delegates to STP; this reproduction ships its own solver tuned for the
+constraint shapes symbolic execution of byte-oriented programs produces:
+conjunctions of comparisons over a handful of 8-bit input variables.
+
+The solver combines, in order of increasing cost:
+
+1. expression-level simplification (done by the smart constructors),
+2. an interval fast path that decides constraints whose truth value does not
+   depend on the variables at all,
+3. independent-constraint decomposition (KLEE's ``--use-independent-solver``):
+   constraints are partitioned by shared variables so each group is solved
+   separately,
+4. a backtracking CSP search over the byte domains of the variables in a
+   group, with unary-constraint domain pruning and early constraint checking,
+5. query caching (both full queries and per-group results).
+
+The solver is complete for the expression language as long as the search
+budget is not exhausted; when it is, the query conservatively reports
+"maybe satisfiable" so that the executor never prunes a feasible path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .expr import Expr, ExprOp, mask, unsigned_interval
+from .simplify import const, not_expr
+
+
+@dataclass
+class SolverStats:
+    """Counters describing solver work (reported by the harness)."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    fast_path_decisions: int = 0
+    csp_searches: int = 0
+    assignments_tried: int = 0
+    unknown_results: int = 0
+    time_seconds: float = 0.0
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability query."""
+
+    satisfiable: bool
+    model: Optional[Dict[str, int]] = None
+    #: True when the search budget was exhausted and the result is the
+    #: conservative answer rather than a proof.
+    exact: bool = True
+
+
+class Solver:
+    """A small, self-contained constraint solver for bitvector conjunctions."""
+
+    def __init__(self, max_assignments: int = 200_000,
+                 enable_independence: bool = True,
+                 enable_cache: bool = True) -> None:
+        self.max_assignments = max_assignments
+        self.enable_independence = enable_independence
+        self.enable_cache = enable_cache
+        self.stats = SolverStats()
+        self._cache: Dict[FrozenSet[Expr], SolverResult] = {}
+        self._group_cache: Dict[FrozenSet[Expr], SolverResult] = {}
+
+    # ------------------------------------------------------------------ API
+    def check(self, constraints: Sequence[Expr]) -> SolverResult:
+        """Is the conjunction of ``constraints`` satisfiable?"""
+        start = time.perf_counter()
+        self.stats.queries += 1
+        try:
+            return self._check(list(constraints))
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
+
+    def is_satisfiable(self, constraints: Sequence[Expr]) -> bool:
+        return self.check(constraints).satisfiable
+
+    def get_model(self, constraints: Sequence[Expr]) -> Optional[Dict[str, int]]:
+        """A satisfying assignment covering every variable in the query, or
+        None if the constraints are unsatisfiable."""
+        result = self.check(constraints)
+        if not result.satisfiable:
+            return None
+        if result.model is not None:
+            return result.model
+        # The fast path may answer without building a model; fall back to the
+        # full search for one.
+        return self._solve_groups(list(constraints), need_model=True).model
+
+    def may_be_true(self, constraints: Sequence[Expr], condition: Expr) -> bool:
+        """Can ``condition`` be true under ``constraints``?"""
+        if condition.is_constant:
+            return bool(condition.value)
+        return self.is_satisfiable(list(constraints) + [condition])
+
+    def may_be_false(self, constraints: Sequence[Expr], condition: Expr) -> bool:
+        if condition.is_constant:
+            return not condition.value
+        return self.is_satisfiable(list(constraints) + [not_expr(condition)])
+
+    # ------------------------------------------------------------ internals
+    def _check(self, constraints: List[Expr]) -> SolverResult:
+        # 1. Trivial filtering.
+        filtered: List[Expr] = []
+        for constraint in constraints:
+            if constraint.is_constant:
+                if constraint.value == 0:
+                    self.stats.fast_path_decisions += 1
+                    return SolverResult(False)
+                continue
+            filtered.append(constraint)
+        if not filtered:
+            return SolverResult(True, model={})
+
+        # 2. Interval fast path per constraint.
+        remaining: List[Expr] = []
+        for constraint in filtered:
+            low, high = unsigned_interval(constraint)
+            if high == 0:
+                self.stats.fast_path_decisions += 1
+                return SolverResult(False)
+            if low >= 1:
+                self.stats.fast_path_decisions += 1
+                continue
+            remaining.append(constraint)
+        if not remaining:
+            return SolverResult(True, model={})
+
+        # 3. Cache.
+        key = frozenset(remaining)
+        if self.enable_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+
+        result = self._solve_groups(remaining, need_model=False)
+        if self.enable_cache and result.exact:
+            self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------- group solving
+    def _solve_groups(self, constraints: List[Expr],
+                      need_model: bool) -> SolverResult:
+        groups = self._independent_groups(constraints) \
+            if self.enable_independence else [constraints]
+        combined_model: Dict[str, int] = {}
+        exact = True
+        for group in groups:
+            result = self._solve_group(group)
+            if not result.satisfiable:
+                return SolverResult(False, exact=result.exact)
+            exact &= result.exact
+            if result.model:
+                combined_model.update(result.model)
+        return SolverResult(True, model=combined_model, exact=exact)
+
+    def _independent_groups(self, constraints: List[Expr]) -> List[List[Expr]]:
+        """Partition constraints into groups that share no variables."""
+        parent: Dict[str, str] = {}
+
+        def find(name: str) -> str:
+            while parent.get(name, name) != name:
+                parent[name] = parent.get(parent[name], parent[name])
+                name = parent[name]
+            return name
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for constraint in constraints:
+            names = sorted(constraint.variables())
+            for name in names:
+                parent.setdefault(name, name)
+            for a, b in zip(names, names[1:]):
+                union(a, b)
+
+        groups: Dict[str, List[Expr]] = {}
+        no_vars: List[Expr] = []
+        for constraint in constraints:
+            names = constraint.variables()
+            if not names:
+                no_vars.append(constraint)
+                continue
+            root = find(sorted(names)[0])
+            groups.setdefault(root, []).append(constraint)
+        result = list(groups.values())
+        if no_vars:
+            result.append(no_vars)
+        return result
+
+    def _solve_group(self, constraints: List[Expr]) -> SolverResult:
+        group_key = frozenset(constraints)
+        if self.enable_cache:
+            cached = self._group_cache.get(group_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        result = self._solve_group_uncached(constraints)
+        if self.enable_cache and result.exact:
+            self._group_cache[group_key] = result
+        return result
+
+    def _solve_group_uncached(self, constraints: List[Expr]) -> SolverResult:
+        self.stats.csp_searches += 1
+        variables = sorted(set(itertools.chain.from_iterable(
+            c.variables() for c in constraints)))
+        if not variables:
+            # Variable-free constraints fold to constants during
+            # simplification; anything left is treated as satisfiable.
+            return SolverResult(True, model={})
+
+        widths: Dict[str, int] = {}
+        for constraint in constraints:
+            self._collect_widths(constraint, widths)
+
+        # Unary-constraint domain pruning.
+        domains: Dict[str, List[int]] = {}
+        unary: Dict[str, List[Expr]] = {}
+        multi: List[Expr] = []
+        for constraint in constraints:
+            names = constraint.variables()
+            if len(names) == 1:
+                unary.setdefault(next(iter(names)), []).append(constraint)
+            else:
+                multi.append(constraint)
+        for name in variables:
+            width = widths.get(name, 8)
+            if width > 16:
+                # Wide variables cannot be enumerated; fall back to a sparse
+                # candidate set (boundary values); exactness is dropped.
+                domain = [0, 1, 2, 255, mask(width) - 1, mask(width)]
+            else:
+                domain = list(range(mask(width) + 1))
+            for constraint in unary.get(name, []):
+                domain = [value for value in domain
+                          if constraint.evaluate({name: value}) == 1]
+                self.stats.assignments_tried += len(domain)
+            if not domain:
+                return SolverResult(False)
+            domains[name] = domain
+
+        # Order variables: smallest domain first (most constrained first).
+        order = sorted(variables, key=lambda name: len(domains[name]))
+        constraint_vars = [(c, c.variables()) for c in multi]
+
+        assignment: Dict[str, int] = {}
+        budget = [self.max_assignments]
+
+        def backtrack(index: int) -> Optional[Dict[str, int]]:
+            if index == len(order):
+                return dict(assignment)
+            name = order[index]
+            assigned_after = set(order[:index + 1])
+            relevant = [c for c, names in constraint_vars
+                        if name in names and names <= assigned_after]
+            for value in domains[name]:
+                if budget[0] <= 0:
+                    return None
+                budget[0] -= 1
+                self.stats.assignments_tried += 1
+                assignment[name] = value
+                if all(c.evaluate(assignment) == 1 for c in relevant):
+                    result = backtrack(index + 1)
+                    if result is not None:
+                        return result
+                del assignment[name]
+            return None
+
+        model = backtrack(0)
+        if model is not None:
+            return SolverResult(True, model=model)
+        if budget[0] <= 0:
+            # Budget exhausted: be conservative (never prune a feasible path).
+            self.stats.unknown_results += 1
+            return SolverResult(True, model=None, exact=False)
+        return SolverResult(False)
+
+    @staticmethod
+    def _collect_widths(expr: Expr, widths: Dict[str, int]) -> None:
+        if expr.op is ExprOp.VAR:
+            widths[expr.name] = max(widths.get(expr.name, 0), expr.width)
+        for operand in expr.operands:
+            Solver._collect_widths(operand, widths)

@@ -1,0 +1,109 @@
+"""Execution states of the symbolic executor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.errors import ProgramError
+from ..ir import Argument, BasicBlock, Function, Instruction, Value
+from .expr import Expr
+from .memory import SymbolicMemory
+
+
+class StateStatus(enum.Enum):
+    """Lifecycle of an execution state."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"     # returned from the entry function
+    ERROR = "error"             # a bug was detected on this path
+    TERMINATED = "terminated"   # killed by a resource limit
+
+
+@dataclass
+class StackFrame:
+    """One activation record in a state's call stack."""
+
+    function: Function
+    #: SSA value bindings: id(Value) -> expression.
+    values: Dict[int, Expr] = field(default_factory=dict)
+    block: Optional[BasicBlock] = None
+    previous_block: Optional[BasicBlock] = None
+    #: Index of the next instruction to execute within ``block``.
+    index: int = 0
+    #: The call instruction to bind the return value to in the caller.
+    call_site: Optional[Instruction] = None
+
+    def fork(self) -> "StackFrame":
+        clone = StackFrame(self.function, dict(self.values), self.block,
+                           self.previous_block, self.index, self.call_site)
+        return clone
+
+
+class ExecutionState:
+    """A single path being explored: call stack + memory + path constraints."""
+
+    _next_id = 0
+
+    def __init__(self, memory: Optional[SymbolicMemory] = None) -> None:
+        ExecutionState._next_id += 1
+        self.state_id = ExecutionState._next_id
+        self.stack: List[StackFrame] = []
+        self.memory = memory or SymbolicMemory()
+        self.constraints: List[Expr] = []
+        self.status = StateStatus.RUNNING
+        self.error: Optional[ProgramError] = None
+        self.return_value: Optional[Expr] = None
+        #: Instructions this state has executed (for depth heuristics).
+        self.instructions_executed = 0
+        self.forks = 0
+        self.depth = 0  # number of branch decisions taken
+
+    # ------------------------------------------------------------- frames
+    @property
+    def frame(self) -> StackFrame:
+        return self.stack[-1]
+
+    def push_frame(self, frame: StackFrame) -> None:
+        self.stack.append(frame)
+
+    def pop_frame(self) -> StackFrame:
+        return self.stack.pop()
+
+    # ------------------------------------------------------------- values
+    def bind(self, value: Value, expr: Expr) -> None:
+        self.frame.values[id(value)] = expr
+
+    def lookup(self, value: Value) -> Expr:
+        return self.frame.values[id(value)]
+
+    # ------------------------------------------------------------- forking
+    def fork(self) -> "ExecutionState":
+        """Create an identical copy of this state (new id)."""
+        clone = ExecutionState(self.memory.fork())
+        clone.stack = [frame.fork() for frame in self.stack]
+        clone.constraints = list(self.constraints)
+        clone.status = self.status
+        clone.instructions_executed = self.instructions_executed
+        clone.depth = self.depth
+        self.forks += 1
+        return clone
+
+    def add_constraint(self, constraint: Expr) -> None:
+        if not constraint.is_true:
+            self.constraints.append(constraint)
+
+    # ------------------------------------------------------------- control
+    def jump_to(self, block: BasicBlock) -> None:
+        frame = self.frame
+        frame.previous_block = frame.block
+        frame.block = block
+        frame.index = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = ""
+        if self.stack and self.frame.block is not None:
+            where = f" @{self.frame.function.name}:{self.frame.block.name}"
+        return (f"<State {self.state_id} {self.status.value}{where} "
+                f"constraints={len(self.constraints)}>")

@@ -1,0 +1,12 @@
+"""repro.vlibc — the C library shipped with the compiler, in an
+execution-optimized and a verification-optimized variant."""
+
+from .sources import (
+    CHECK_FAIL_DECLARATION, EXECUTION_LIBC, LIBC_FUNCTIONS, VERIFICATION_LIBC,
+    libc_source,
+)
+
+__all__ = [
+    "CHECK_FAIL_DECLARATION", "EXECUTION_LIBC", "LIBC_FUNCTIONS",
+    "VERIFICATION_LIBC", "libc_source",
+]

@@ -1,0 +1,445 @@
+"""MiniC sources for the C library, in two variants.
+
+The paper (§3, Library-level changes): "As part of -OVERIFY, we are currently
+developing a version of libC that is tailored to the needs of program
+analysis ... Functions in this C library contain run-time checks to verify
+their preconditions."
+
+Two variants of the same API are provided:
+
+* ``EXECUTION_LIBC`` — written the way a performance-oriented libc is
+  written: early-exit loops, short-circuit conditionals, branchy character
+  classification.  This is what -O0/-O2/-O3 builds link against.
+* ``VERIFICATION_LIBC`` — branch-free character classification (bitwise
+  instead of short-circuit operators), simplified loops, and explicit
+  precondition checks that turn misuse into a crash
+  (``__overify_check_fail``).  This is what -OVERIFY builds link against.
+
+Both variants implement identical semantics for valid inputs; the test suite
+checks them against each other and against Python's own semantics.
+"""
+
+from __future__ import annotations
+
+#: Declaration of the failure hook; the interpreter and the symbolic executor
+#: both treat a call to it as a program crash.
+CHECK_FAIL_DECLARATION = "extern void __overify_check_fail(void);\n"
+
+
+# ---------------------------------------------------------------------------
+# Execution-oriented variant (branchy, early exits) — linked by -O0/-O2/-O3.
+# ---------------------------------------------------------------------------
+EXECUTION_LIBC = CHECK_FAIL_DECLARATION + r"""
+/* --- character classification (branchy, like a table-free libc) --------- */
+
+int isspace(int c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+           c == 11 || c == 12;
+}
+
+int isdigit(int c) {
+    return c >= '0' && c <= '9';
+}
+
+int isupper(int c) {
+    return c >= 'A' && c <= 'Z';
+}
+
+int islower(int c) {
+    return c >= 'a' && c <= 'z';
+}
+
+int isalpha(int c) {
+    return islower(c) || isupper(c);
+}
+
+int isalnum(int c) {
+    return isalpha(c) || isdigit(c);
+}
+
+int isprint(int c) {
+    return c >= ' ' && c <= '~';
+}
+
+int ispunct(int c) {
+    return isprint(c) && !isalnum(c) && !(c == ' ');
+}
+
+int toupper(int c) {
+    if (islower(c)) {
+        return c - 'a' + 'A';
+    }
+    return c;
+}
+
+int tolower(int c) {
+    if (isupper(c)) {
+        return c - 'A' + 'a';
+    }
+    return c;
+}
+
+/* --- string functions ---------------------------------------------------- */
+
+long strlen(unsigned char *s) {
+    long n = 0;
+    while (s[n]) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int strcmp(unsigned char *a, unsigned char *b) {
+    long i = 0;
+    while (a[i] && b[i]) {
+        if (a[i] != b[i]) {
+            if (a[i] < b[i]) { return -1; } else { return 1; }
+        }
+        i = i + 1;
+    }
+    if (a[i] == b[i]) { return 0; }
+    if (a[i] < b[i]) { return -1; }
+    return 1;
+}
+
+int strncmp(unsigned char *a, unsigned char *b, long n) {
+    long i = 0;
+    while (i < n) {
+        if (a[i] != b[i]) {
+            if (a[i] < b[i]) { return -1; } else { return 1; }
+        }
+        if (!a[i]) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+unsigned char *strchr(unsigned char *s, int c) {
+    long i = 0;
+    while (s[i]) {
+        if (s[i] == c) {
+            return s + i;
+        }
+        i = i + 1;
+    }
+    if (c == 0) { return s + i; }
+    return (unsigned char *)0;
+}
+
+unsigned char *strcpy(unsigned char *dst, unsigned char *src) {
+    long i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+long strspn(unsigned char *s, unsigned char *accept) {
+    long i = 0;
+    while (s[i]) {
+        if (!strchr(accept, s[i])) {
+            return i;
+        }
+        i = i + 1;
+    }
+    return i;
+}
+
+long strcspn(unsigned char *s, unsigned char *reject) {
+    long i = 0;
+    while (s[i]) {
+        if (strchr(reject, s[i])) {
+            return i;
+        }
+        i = i + 1;
+    }
+    return i;
+}
+
+/* --- memory functions ----------------------------------------------------- */
+
+void *memcpy(void *dst, void *src, long n) {
+    unsigned char *d = (unsigned char *)dst;
+    unsigned char *s = (unsigned char *)src;
+    long i = 0;
+    while (i < n) {
+        d[i] = s[i];
+        i = i + 1;
+    }
+    return dst;
+}
+
+void *memset(void *dst, int value, long n) {
+    unsigned char *d = (unsigned char *)dst;
+    long i = 0;
+    while (i < n) {
+        d[i] = (unsigned char)value;
+        i = i + 1;
+    }
+    return dst;
+}
+
+int memcmp(void *a, void *b, long n) {
+    unsigned char *x = (unsigned char *)a;
+    unsigned char *y = (unsigned char *)b;
+    long i = 0;
+    while (i < n) {
+        if (x[i] != y[i]) {
+            if (x[i] < y[i]) { return -1; } else { return 1; }
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+/* --- conversions ----------------------------------------------------------- */
+
+int atoi(unsigned char *s) {
+    int value = 0;
+    int sign = 1;
+    long i = 0;
+    while (isspace(s[i])) {
+        i = i + 1;
+    }
+    if (s[i] == '-') {
+        sign = -1;
+        i = i + 1;
+    } else if (s[i] == '+') {
+        i = i + 1;
+    }
+    while (isdigit(s[i])) {
+        value = value * 10 + (s[i] - '0');
+        i = i + 1;
+    }
+    return value * sign;
+}
+
+int abs(int x) {
+    if (x < 0) {
+        return -x;
+    }
+    return x;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Verification-oriented variant (branch-free classification, precondition
+# checks) — linked by -OVERIFY builds.
+# ---------------------------------------------------------------------------
+VERIFICATION_LIBC = CHECK_FAIL_DECLARATION + r"""
+/* --- character classification (branch-free: bitwise, no short-circuit) --- */
+
+int isspace(int c) {
+    return (c == ' ') | ((c >= '\t') & (c <= '\r'));
+}
+
+int isdigit(int c) {
+    return (c >= '0') & (c <= '9');
+}
+
+int isupper(int c) {
+    return (c >= 'A') & (c <= 'Z');
+}
+
+int islower(int c) {
+    return (c >= 'a') & (c <= 'z');
+}
+
+int isalpha(int c) {
+    return islower(c) | isupper(c);
+}
+
+int isalnum(int c) {
+    return isalpha(c) | isdigit(c);
+}
+
+int isprint(int c) {
+    return (c >= ' ') & (c <= '~');
+}
+
+int ispunct(int c) {
+    return isprint(c) & (!isalnum(c)) & (c != ' ');
+}
+
+int toupper(int c) {
+    int shift = islower(c) * 32;
+    return c - shift;
+}
+
+int tolower(int c) {
+    int shift = isupper(c) * 32;
+    return c + shift;
+}
+
+/* --- string functions (precondition-checked, simple loops) ---------------- */
+
+long strlen(unsigned char *s) {
+    if (!s) { __overify_check_fail(); }
+    long n = 0;
+    while (s[n]) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int strcmp(unsigned char *a, unsigned char *b) {
+    if (!a) { __overify_check_fail(); }
+    if (!b) { __overify_check_fail(); }
+    long i = 0;
+    int result = 0;
+    int done = 0;
+    while (!done) {
+        int ca = a[i];
+        int cb = b[i];
+        int differ = (ca != cb);
+        int ended = ((ca == 0) | (cb == 0));
+        result = (result != 0) * result +
+                 (result == 0) * differ * ((ca < cb) * -1 + (ca > cb) * 1);
+        done = differ | ended;
+        i = i + 1;
+    }
+    return result;
+}
+
+int strncmp(unsigned char *a, unsigned char *b, long n) {
+    if (!a) { __overify_check_fail(); }
+    if (!b) { __overify_check_fail(); }
+    long i = 0;
+    int result = 0;
+    while ((i < n) & (result == 0)) {
+        int ca = a[i];
+        int cb = b[i];
+        result = (ca < cb) * -1 + (ca > cb) * 1;
+        if (ca == 0) {
+            return result;
+        }
+        i = i + 1;
+    }
+    return result;
+}
+
+unsigned char *strchr(unsigned char *s, int c) {
+    if (!s) { __overify_check_fail(); }
+    long i = 0;
+    while ((s[i] != 0) & (s[i] != c)) {
+        i = i + 1;
+    }
+    if (s[i] == c) {
+        return s + i;
+    }
+    return (unsigned char *)0;
+}
+
+unsigned char *strcpy(unsigned char *dst, unsigned char *src) {
+    if (!dst) { __overify_check_fail(); }
+    if (!src) { __overify_check_fail(); }
+    long i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+long strspn(unsigned char *s, unsigned char *accept) {
+    if (!s) { __overify_check_fail(); }
+    long i = 0;
+    while ((s[i] != 0) & (strchr(accept, s[i]) != (unsigned char *)0)) {
+        i = i + 1;
+    }
+    return i;
+}
+
+long strcspn(unsigned char *s, unsigned char *reject) {
+    if (!s) { __overify_check_fail(); }
+    long i = 0;
+    while ((s[i] != 0) & (strchr(reject, s[i]) == (unsigned char *)0)) {
+        i = i + 1;
+    }
+    return i;
+}
+
+/* --- memory functions ----------------------------------------------------- */
+
+void *memcpy(void *dst, void *src, long n) {
+    if (!dst) { __overify_check_fail(); }
+    if (!src) { __overify_check_fail(); }
+    unsigned char *d = (unsigned char *)dst;
+    unsigned char *s = (unsigned char *)src;
+    long i = 0;
+    while (i < n) {
+        d[i] = s[i];
+        i = i + 1;
+    }
+    return dst;
+}
+
+void *memset(void *dst, int value, long n) {
+    if (!dst) { __overify_check_fail(); }
+    unsigned char *d = (unsigned char *)dst;
+    long i = 0;
+    while (i < n) {
+        d[i] = (unsigned char)value;
+        i = i + 1;
+    }
+    return dst;
+}
+
+int memcmp(void *a, void *b, long n) {
+    if (!a) { __overify_check_fail(); }
+    if (!b) { __overify_check_fail(); }
+    unsigned char *x = (unsigned char *)a;
+    unsigned char *y = (unsigned char *)b;
+    long i = 0;
+    int result = 0;
+    while ((i < n) & (result == 0)) {
+        result = (x[i] < y[i]) * -1 + (x[i] > y[i]) * 1;
+        i = i + 1;
+    }
+    return result;
+}
+
+/* --- conversions ----------------------------------------------------------- */
+
+int atoi(unsigned char *s) {
+    if (!s) { __overify_check_fail(); }
+    int value = 0;
+    int sign = 1;
+    long i = 0;
+    while (isspace(s[i])) {
+        i = i + 1;
+    }
+    sign = 1 - 2 * (s[i] == '-');
+    i = i + (s[i] == '-') + (s[i] == '+');
+    while (isdigit(s[i])) {
+        value = value * 10 + (s[i] - '0');
+        i = i + 1;
+    }
+    return value * sign;
+}
+
+int abs(int x) {
+    int negative = (x < 0);
+    return x * (1 - 2 * negative);
+}
+"""
+
+
+def libc_source(verification_optimized: bool) -> str:
+    """Return the MiniC source of the requested libc variant."""
+    return VERIFICATION_LIBC if verification_optimized else EXECUTION_LIBC
+
+
+#: The public API both variants provide (used by tests and by the harness to
+#: check the two variants stay in sync).
+LIBC_FUNCTIONS = [
+    "isspace", "isdigit", "isupper", "islower", "isalpha", "isalnum",
+    "isprint", "ispunct", "toupper", "tolower",
+    "strlen", "strcmp", "strncmp", "strchr", "strcpy", "strspn", "strcspn",
+    "memcpy", "memset", "memcmp",
+    "atoi", "abs",
+]

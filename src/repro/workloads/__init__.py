@@ -1,0 +1,23 @@
+"""repro.workloads — the programs the experiments analyse.
+
+* :mod:`repro.workloads.wc` — the paper's Listing 1 motivating example.
+* The ``coreutils_*`` modules register ~30 Coreutils-like utilities, the
+  population for Table 3 and Figure 4.
+"""
+
+from .registry import Workload, all_workloads, get_workload, register, workload_names
+from .wc import (
+    WC_BRANCH_FREE, WC_PROGRAM, WC_PROGRAM_CONCRETE_ANY, WC_SOURCE,
+    reference_word_count,
+)
+
+# Importing these modules populates the registry.
+from . import coreutils_text  # noqa: F401  (registration side effect)
+from . import coreutils_filters  # noqa: F401
+from . import coreutils_misc  # noqa: F401
+
+__all__ = [
+    "Workload", "all_workloads", "get_workload", "register", "workload_names",
+    "WC_BRANCH_FREE", "WC_PROGRAM", "WC_PROGRAM_CONCRETE_ANY", "WC_SOURCE",
+    "reference_word_count",
+]

@@ -1,0 +1,310 @@
+"""Coreutils-like filter workloads (part 2): field/stream filters that lean
+more heavily on the C library (strcmp/strchr/...)."""
+
+from __future__ import annotations
+
+from .registry import Workload, register
+from .coreutils_text import OUTPUT_PREAMBLE
+
+
+register(Workload(
+    name="cut",
+    description="Select the second ':'-separated field of each line (cut -d: -f2).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int field = 0;
+    int copied = 0;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '\\n') {
+            field = 0;
+            emit('\\n');
+        } else if (input[i] == ':') {
+            field = field + 1;
+        } else if (field == 1) {
+            emit(input[i]);
+            copied = copied + 1;
+        }
+        i = i + 1;
+    }
+    return copied;
+}
+""",
+))
+
+
+register(Workload(
+    name="uniq",
+    description="Drop consecutive duplicate characters (uniq on a stream of "
+                "length-1 lines).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int count_mode = 0;             /* uniq -c */
+    int start = 0;
+    if (len >= 1 && input[0] == 'c') {
+        count_mode = 1;
+        start = 1;
+    }
+    int previous = -1;
+    int repeats = 0;
+    int kept = 0;
+    int i = start;
+    while (input[i]) {
+        if (input[i] != previous) {
+            if (count_mode) {
+                emit('0' + repeats % 10);
+                emit(' ');
+            }
+            emit(input[i]);
+            kept = kept + 1;
+            repeats = 0;
+        } else {
+            repeats = repeats + 1;
+        }
+        previous = input[i];
+        i = i + 1;
+    }
+    return kept;
+}
+""",
+))
+
+
+register(Workload(
+    name="grep",
+    description="Count occurrences of a one-byte pattern (first input byte) "
+                "in the remaining text (grep -c).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    if (len < 2) {
+        return 0;
+    }
+    int invert = input[0] == 'v';   /* grep -v */
+    unsigned char pattern = input[1];
+    int matches = 0;
+    int i = 2;
+    while (input[i]) {
+        int hit = input[i] == pattern;
+        if (invert) {
+            if (!hit) {
+                matches = matches + 1;
+            }
+        } else {
+            if (hit) {
+                matches = matches + 1;
+            }
+        }
+        i = i + 1;
+    }
+    return matches;
+}
+""",
+))
+
+
+register(Workload(
+    name="comm",
+    description="Compare the two halves of the input byte-by-byte (comm's "
+                "three-way classification).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int half = len / 2;
+    int only_first = 0;
+    int only_second = 0;
+    int both = 0;
+    int i = 0;
+    while (i < half) {
+        unsigned char a = input[i];
+        unsigned char b = input[half + i];
+        if (a == b) {
+            both = both + 1;
+        } else if (a < b) {
+            only_first = only_first + 1;
+        } else {
+            only_second = only_second + 1;
+        }
+        i = i + 1;
+    }
+    return only_first * 10000 + only_second * 100 + both;
+}
+""",
+))
+
+
+register(Workload(
+    name="paste",
+    description="Interleave the two halves of the input (paste -d'').",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int half = len / 2;
+    int i = 0;
+    while (i < half) {
+        emit(input[i]);
+        emit(input[half + i]);
+        i = i + 1;
+    }
+    return out_pos;
+}
+""",
+))
+
+
+register(Workload(
+    name="sort",
+    description="Insertion-sort the input bytes (sort on single-character "
+                "lines).",
+    source=OUTPUT_PREAMBLE + """
+unsigned char buffer[64];
+
+int main(unsigned char *input, int len) {
+    int count = 0;
+    int i = 0;
+    while (input[i] && count < 63) {
+        buffer[count] = input[i];
+        count = count + 1;
+        i = i + 1;
+    }
+    int j = 1;
+    while (j < count) {
+        unsigned char key = buffer[j];
+        int k = j - 1;
+        while (k >= 0 && buffer[k] > key) {
+            buffer[k + 1] = buffer[k];
+            k = k - 1;
+        }
+        buffer[k + 1] = key;
+        j = j + 1;
+    }
+    int inversions = 0;
+    i = 0;
+    while (i < count) {
+        emit(buffer[i]);
+        i = i + 1;
+    }
+    return count;
+}
+""",
+))
+
+
+register(Workload(
+    name="join",
+    description="Join two ':'-separated key lists on equal keys (join's "
+                "matching loop).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int half = len / 2;
+    int matches = 0;
+    int i = 0;
+    while (i < half) {
+        unsigned char key = input[i];
+        if (key == 0) {
+            break;
+        }
+        int j = half;
+        while (j < len && input[j]) {
+            if (input[j] == key) {
+                matches = matches + 1;
+                emit(key);
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return matches;
+}
+""",
+))
+
+
+register(Workload(
+    name="strings",
+    description="Extract printable runs of length >= 3 (strings).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int run = 0;
+    int found = 0;
+    int i = 0;
+    while (i < len) {
+        if (isprint(input[i])) {
+            run = run + 1;
+        } else {
+            if (run >= 3) {
+                found = found + 1;
+            }
+            run = 0;
+        }
+        i = i + 1;
+    }
+    if (run >= 3) {
+        found = found + 1;
+    }
+    return found;
+}
+""",
+))
+
+
+register(Workload(
+    name="tsort",
+    description="Check whether the byte sequence is already topologically "
+                "(non-decreasingly) ordered (tsort's cycle check analogue).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int ordered = 1;
+    int breaks = 0;
+    int i = 1;
+    while (input[i]) {
+        if (input[i - 1] > input[i]) {
+            ordered = 0;
+            breaks = breaks + 1;
+        }
+        i = i + 1;
+    }
+    return ordered * 1000 + breaks;
+}
+""",
+))
+
+
+register(Workload(
+    name="shuf",
+    description="Deterministic 'shuffle': xor-fold permutation index of the "
+                "input bytes (shuf -i with a fixed seed).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int state = 7;
+    int i = 0;
+    while (input[i]) {
+        state = (state * 31 + input[i]) % 251;
+        emit((unsigned char)state);
+        i = i + 1;
+    }
+    return state;
+}
+""",
+))
+
+
+register(Workload(
+    name="split",
+    description="Count how many 3-byte chunks the input splits into (split -b 3).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int chunks = 0;
+    int in_chunk = 0;
+    int i = 0;
+    while (input[i]) {
+        if (in_chunk == 0) {
+            chunks = chunks + 1;
+        }
+        in_chunk = in_chunk + 1;
+        if (in_chunk == 3) {
+            in_chunk = 0;
+        }
+        i = i + 1;
+    }
+    return chunks;
+}
+""",
+))

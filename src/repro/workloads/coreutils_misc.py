@@ -1,0 +1,431 @@
+"""Coreutils-like workloads (part 3): argument parsing, checksums, path
+manipulation, plus two deliberately buggy utilities used by the bug-parity
+experiments (the paper checks that every bug found at -O0/-O3 is also found
+at -OSYMBEX)."""
+
+from __future__ import annotations
+
+from .registry import Workload, register
+from .coreutils_text import OUTPUT_PREAMBLE
+
+
+register(Workload(
+    name="true",
+    description="Always succeed (true).",
+    source="""
+int main(unsigned char *input, int len) {
+    return 0;
+}
+""",
+))
+
+
+register(Workload(
+    name="false",
+    description="Always fail (false).",
+    source="""
+int main(unsigned char *input, int len) {
+    return 1;
+}
+""",
+))
+
+
+register(Workload(
+    name="yes",
+    description="Emit the input string a bounded number of times (yes).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int repetitions = 3;
+    int total = 0;
+    int r = 0;
+    while (r < repetitions) {
+        int i = 0;
+        while (input[i]) {
+            emit(input[i]);
+            total = total + 1;
+            i = i + 1;
+        }
+        emit('\\n');
+        r = r + 1;
+    }
+    return total;
+}
+""",
+))
+
+
+register(Workload(
+    name="basename",
+    description="Strip the directory part of a path (basename).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int last_slash = -1;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '/') {
+            last_slash = i;
+        }
+        i = i + 1;
+    }
+    int j = last_slash + 1;
+    while (input[j]) {
+        emit(input[j]);
+        j = j + 1;
+    }
+    return j - last_slash - 1;
+}
+""",
+))
+
+
+register(Workload(
+    name="dirname",
+    description="Extract the directory part of a path (dirname).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int last_slash = -1;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '/') {
+            last_slash = i;
+        }
+        i = i + 1;
+    }
+    if (last_slash <= 0) {
+        emit('.');
+        return 1;
+    }
+    int j = 0;
+    while (j < last_slash) {
+        emit(input[j]);
+        j = j + 1;
+    }
+    return last_slash;
+}
+""",
+))
+
+
+register(Workload(
+    name="seq",
+    description="Parse a bound from the input and sum 1..n (seq | paste -sd+).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int bound = atoi(input) % 16;
+    if (bound < 0) {
+        bound = -bound;
+    }
+    int total = 0;
+    int i = 1;
+    while (i <= bound) {
+        total = total + i;
+        i = i + 1;
+    }
+    return total;
+}
+""",
+))
+
+
+register(Workload(
+    name="sum",
+    description="BSD 16-bit rotating checksum (sum -r).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int checksum = 0;
+    int i = 0;
+    while (input[i]) {
+        checksum = (checksum >> 1) + ((checksum & 1) << 15);
+        checksum = checksum + input[i];
+        checksum = checksum & 65535;
+        i = i + 1;
+    }
+    return checksum;
+}
+""",
+))
+
+
+register(Workload(
+    name="cksum",
+    description="Simplified CRC-style checksum over the input (cksum).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    unsigned int crc = 0;
+    int i = 0;
+    while (input[i]) {
+        crc = crc ^ (input[i] << 8);
+        int bit = 0;
+        while (bit < 8) {
+            if (crc & 32768) {
+                crc = (crc << 1) ^ 4129;
+            } else {
+                crc = crc << 1;
+            }
+            crc = crc & 65535;
+            bit = bit + 1;
+        }
+        i = i + 1;
+    }
+    return (int)crc;
+}
+""",
+))
+
+
+register(Workload(
+    name="od",
+    description="Count bytes per octal-dump output class (od -c's classifier).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int printable = 0;
+    int escapes = 0;
+    int numeric = 0;
+    int i = 0;
+    while (i < len) {
+        unsigned char c = input[i];
+        if (c == '\\n' || c == '\\t' || c == 0) {
+            escapes = escapes + 1;
+        } else if (isprint(c)) {
+            printable = printable + 1;
+        } else {
+            numeric = numeric + 1;
+        }
+        i = i + 1;
+    }
+    return printable * 10000 + escapes * 100 + numeric;
+}
+""",
+))
+
+
+register(Workload(
+    name="echo_args",
+    description="Parse '-n'/'-e' style flags before echoing (echo's option "
+                "parser, exercising strcmp).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int no_newline = 0;
+    int escapes = 0;
+    int start = 0;
+    if (len >= 2 && input[0] == '-') {
+        if (input[1] == 'n') {
+            no_newline = 1;
+            start = 2;
+        } else if (input[1] == 'e') {
+            escapes = 1;
+            start = 2;
+        }
+    }
+    int i = start;
+    while (input[i]) {
+        if (escapes && input[i] == '\\\\' && input[i + 1] == 'n') {
+            emit('\\n');
+            i = i + 2;
+        } else {
+            emit(input[i]);
+            i = i + 1;
+        }
+    }
+    if (!no_newline) {
+        emit('\\n');
+    }
+    return out_pos;
+}
+""",
+))
+
+
+register(Workload(
+    name="test",
+    description="Evaluate a tiny test(1) expression: '<digit> <op> <digit>' "
+                "with ops '=', '<', '>'.",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    if (len < 3) {
+        return 2;
+    }
+    if (!isdigit(input[0]) || !isdigit(input[2])) {
+        return 2;
+    }
+    int a = input[0] - '0';
+    int b = input[2] - '0';
+    unsigned char op = input[1];
+    if (op == '=') {
+        return a == b ? 0 : 1;
+    }
+    if (op == '<') {
+        return a < b ? 0 : 1;
+    }
+    if (op == '>') {
+        return a > b ? 0 : 1;
+    }
+    return 2;
+}
+""",
+))
+
+
+register(Workload(
+    name="expr",
+    description="Evaluate '<digit><op><digit>' with +, -, *, / (expr). The "
+                "division path can fail on a zero divisor, like real expr.",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    if (len < 3) {
+        return 0;
+    }
+    if (!isdigit(input[0]) || !isdigit(input[2])) {
+        return 0;
+    }
+    int a = input[0] - '0';
+    int b = input[2] - '0';
+    unsigned char op = input[1];
+    if (op == '+') {
+        return a + b;
+    }
+    if (op == '-') {
+        return a - b;
+    }
+    if (op == '*') {
+        return a * b;
+    }
+    if (op == '/') {
+        return a / b;
+    }
+    return 0;
+}
+""",
+))
+
+
+register(Workload(
+    name="factor",
+    description="Trial-division factor count of a small parsed number (factor).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int n = atoi(input) % 64;
+    if (n < 2) {
+        return 0;
+    }
+    int factors = 0;
+    int d = 2;
+    while (d <= n) {
+        while (n % d == 0) {
+            factors = factors + 1;
+            n = n / d;
+        }
+        d = d + 1;
+    }
+    return factors;
+}
+""",
+))
+
+
+register(Workload(
+    name="printf",
+    description="Interpret a tiny printf format: %d doubles, %c copies, %% "
+                "escapes (printf).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int emitted = 0;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '%' && input[i + 1]) {
+            unsigned char kind = input[i + 1];
+            if (kind == 'd') {
+                emit('0' + (len % 10));
+            } else if (kind == 'c') {
+                emit('?');
+            } else if (kind == '%') {
+                emit('%');
+            } else {
+                emit(kind);
+            }
+            emitted = emitted + 1;
+            i = i + 2;
+        } else {
+            emit(input[i]);
+            i = i + 1;
+        }
+    }
+    return emitted;
+}
+""",
+))
+
+
+register(Workload(
+    name="pathchk",
+    description="Check a path for validity: empty components, length, "
+                "forbidden characters (pathchk).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int component_length = 0;
+    int errors = 0;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '/') {
+            if (component_length == 0 && i > 0) {
+                errors = errors + 1;
+            }
+            component_length = 0;
+        } else {
+            component_length = component_length + 1;
+            if (component_length > 8) {
+                errors = errors + 1;
+            }
+            if (!isprint(input[i])) {
+                errors = errors + 1;
+            }
+        }
+        i = i + 1;
+    }
+    return errors;
+}
+""",
+))
+
+
+# ---------------------------------------------------------------------------
+# Deliberately buggy utilities for the bug-parity experiment (§4: "We
+# verified that indeed all bugs discovered by KLEE with -O0 and -O3 are also
+# found with -OSYMBEX").
+# ---------------------------------------------------------------------------
+register(Workload(
+    name="buggy_index",
+    description="Contains an out-of-bounds write when the first byte is 'X' "
+                "(bug-parity experiment).",
+    category="buggy",
+    source="""
+unsigned char table[4];
+
+int main(unsigned char *input, int len) {
+    int index = 0;
+    if (len > 0 && input[0] == 'X') {
+        index = 9;  /* out of bounds for table[4] */
+    }
+    table[index] = 1;
+    return index;
+}
+""",
+))
+
+
+register(Workload(
+    name="buggy_div",
+    description="Divides by a value that is zero when the input starts with "
+                "'0' (bug-parity experiment).",
+    category="buggy",
+    source="""
+int main(unsigned char *input, int len) {
+    if (len < 1 || !isdigit(input[0])) {
+        return 0;
+    }
+    int divisor = input[0] - '0';
+    return 100 / divisor;
+}
+""",
+))

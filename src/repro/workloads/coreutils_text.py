@@ -1,0 +1,370 @@
+"""Coreutils-like text-processing workloads (part 1).
+
+These mirror the kind of utilities the paper's Figure 4 analyses: small
+programs that walk their input byte by byte, branch on character classes,
+and call into the C library.  Output is written to a global buffer (the
+stand-in for stdout) and ``main`` returns a small summary value so that the
+differential tests across optimization levels have something to compare.
+"""
+
+from __future__ import annotations
+
+from .registry import Workload, register
+
+#: Shared output preamble used by most utilities.  Output is modelled as a
+#: rolling hash plus a length counter (rather than a byte buffer) so that the
+#: "stdout" abstraction does not itself introduce symbolic-address stores —
+#: the real Coreutils write through buffered stdio, which KLEE models
+#: separately from the program under test.
+OUTPUT_PREAMBLE = """
+int out_hash = 0;
+int out_pos = 0;
+
+void emit(int c) {
+    out_hash = (out_hash * 31 + (c & 255)) % 65521;
+    out_pos = out_pos + 1;
+}
+"""
+
+
+register(Workload(
+    name="echo",
+    description="Copy the input to the output buffer (echo).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int i = 0;
+    while (input[i]) {
+        emit(input[i]);
+        i = i + 1;
+    }
+    emit('\\n');
+    return i;
+}
+""",
+))
+
+
+register(Workload(
+    name="cat",
+    description="Copy input, optionally numbering lines; the first input "
+                "byte selects -n (cat / cat -n).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int number_lines = 0;
+    int start = 0;
+    if (len >= 1 && input[0] == 'n') {
+        number_lines = 1;
+        start = 1;
+    }
+    int lines = 0;
+    int at_start = 1;
+    int i = start;
+    while (input[i]) {
+        if (number_lines && at_start) {
+            emit('0' + (lines + 1) % 10);
+            emit(' ');
+        }
+        at_start = 0;
+        if (input[i] == '\\n') {
+            lines = lines + 1;
+            at_start = 1;
+        }
+        emit(input[i]);
+        i = i + 1;
+    }
+    return lines;
+}
+""",
+))
+
+
+register(Workload(
+    name="wc",
+    description="Count lines, words and characters (the full wc utility).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int lines = 0;
+    int words = 0;
+    int chars = 0;
+    int in_word = 0;
+    int i = 0;
+    while (input[i]) {
+        chars = chars + 1;
+        if (input[i] == '\\n') {
+            lines = lines + 1;
+        }
+        if (isspace(input[i])) {
+            in_word = 0;
+        } else {
+            if (!in_word) {
+                words = words + 1;
+            }
+            in_word = 1;
+        }
+        i = i + 1;
+    }
+    return lines * 10000 + words * 100 + chars;
+}
+""",
+))
+
+
+register(Workload(
+    name="rev",
+    description="Reverse each input line (rev).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int start = 0;
+    int i = 0;
+    while (1) {
+        if (input[i] == '\\n' || input[i] == 0) {
+            int j = i - 1;
+            while (j >= start) {
+                emit(input[j]);
+                j = j - 1;
+            }
+            emit('\\n');
+            start = i + 1;
+        }
+        if (input[i] == 0) {
+            break;
+        }
+        i = i + 1;
+    }
+    return out_pos;
+}
+""",
+))
+
+
+register(Workload(
+    name="nl",
+    description="Number non-empty lines (nl -ba core behaviour).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int number = 1;
+    int at_line_start = 1;
+    int i = 0;
+    while (input[i]) {
+        if (at_line_start) {
+            emit('0' + number % 10);
+            emit('\\t');
+            number = number + 1;
+            at_line_start = 0;
+        }
+        emit(input[i]);
+        if (input[i] == '\\n') {
+            at_line_start = 1;
+        }
+        i = i + 1;
+    }
+    return number - 1;
+}
+""",
+))
+
+
+register(Workload(
+    name="fold",
+    description="Wrap lines at a fixed width (fold -w 4).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int column = 0;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '\\n') {
+            column = 0;
+            emit('\\n');
+        } else {
+            if (column >= 4) {
+                emit('\\n');
+                column = 0;
+            }
+            emit(input[i]);
+            column = column + 1;
+        }
+        i = i + 1;
+    }
+    return out_pos;
+}
+""",
+))
+
+
+register(Workload(
+    name="expand",
+    description="Convert tabs to spaces with 4-column tab stops (expand).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int column = 0;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '\\t') {
+            emit(' ');
+            column = column + 1;
+            while (column % 4 != 0) {
+                emit(' ');
+                column = column + 1;
+            }
+        } else {
+            emit(input[i]);
+            if (input[i] == '\\n') {
+                column = 0;
+            } else {
+                column = column + 1;
+            }
+        }
+        i = i + 1;
+    }
+    return out_pos;
+}
+""",
+))
+
+
+register(Workload(
+    name="unexpand",
+    description="Convert leading runs of spaces to tabs (unexpand).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int spaces = 0;
+    int at_start = 1;
+    int i = 0;
+    while (input[i]) {
+        if (at_start && input[i] == ' ') {
+            spaces = spaces + 1;
+            if (spaces == 4) {
+                emit('\\t');
+                spaces = 0;
+            }
+        } else {
+            while (spaces > 0) {
+                emit(' ');
+                spaces = spaces - 1;
+            }
+            at_start = 0;
+            emit(input[i]);
+            if (input[i] == '\\n') {
+                at_start = 1;
+                spaces = 0;
+            }
+        }
+        i = i + 1;
+    }
+    return out_pos;
+}
+""",
+))
+
+
+register(Workload(
+    name="tr",
+    description="Translate characters: first two input bytes are the from/to "
+                "pair, the rest is the text (tr).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    if (len < 2) {
+        return 0;
+    }
+    unsigned char from = input[0];
+    unsigned char to = input[1];
+    int translated = 0;
+    int i = 2;
+    while (input[i]) {
+        if (input[i] == from) {
+            emit(to);
+            translated = translated + 1;
+        } else {
+            emit(input[i]);
+        }
+        i = i + 1;
+    }
+    return translated;
+}
+""",
+))
+
+
+register(Workload(
+    name="head",
+    description="Print the first N lines; N comes from the first input byte "
+                "(head -n).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    if (len < 1) {
+        return 0;
+    }
+    int limit = input[0] % 4 + 1;
+    int lines = 0;
+    int i = 1;
+    while (input[i] && lines < limit) {
+        emit(input[i]);
+        if (input[i] == '\\n') {
+            lines = lines + 1;
+        }
+        i = i + 1;
+    }
+    return lines;
+}
+""",
+))
+
+
+register(Workload(
+    name="tail",
+    description="Count trailing lines and output the last one (tail -n 1).",
+    source=OUTPUT_PREAMBLE + """
+int main(unsigned char *input, int len) {
+    int last_start = 0;
+    int lines = 0;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '\\n' && input[i + 1]) {
+            last_start = i + 1;
+            lines = lines + 1;
+        }
+        i = i + 1;
+    }
+    int j = last_start;
+    while (input[j] && input[j] != '\\n') {
+        emit(input[j]);
+        j = j + 1;
+    }
+    return lines;
+}
+""",
+))
+
+
+register(Workload(
+    name="tac",
+    description="Output lines in reverse order (tac), using an index pass.",
+    source=OUTPUT_PREAMBLE + """
+int line_starts[32];
+
+int main(unsigned char *input, int len) {
+    int count = 0;
+    line_starts[0] = 0;
+    count = 1;
+    int i = 0;
+    while (input[i]) {
+        if (input[i] == '\\n' && input[i + 1] && count < 32) {
+            line_starts[count] = i + 1;
+            count = count + 1;
+        }
+        i = i + 1;
+    }
+    int line = count - 1;
+    while (line >= 0) {
+        int j = line_starts[line];
+        while (input[j] && input[j] != '\\n') {
+            emit(input[j]);
+            j = j + 1;
+        }
+        emit('\\n');
+        line = line - 1;
+    }
+    return count;
+}
+""",
+))

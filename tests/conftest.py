@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_to_ir
+from repro.interp import run_module
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+
+
+def compile_snippet(source: str):
+    """Compile a MiniC snippet (no libc, no optimization) to an IR module."""
+    return compile_to_ir(source)
+
+
+def run_snippet(source: str, function: str, args):
+    """Compile a snippet and concretely run one of its functions."""
+    from repro.interp import Interpreter
+
+    module = compile_to_ir(source)
+    interpreter = Interpreter(module)
+    return interpreter.run_function(function, args)
+
+
+def run_at_level(source: str, level: OptLevel, input_bytes: bytes,
+                 **options):
+    """Compile a full program at ``level`` and run it on ``input_bytes``."""
+    result = compile_source(source, CompileOptions(level=level, **options))
+    return run_module(result.module, input_bytes)
+
+
+@pytest.fixture(scope="session")
+def all_levels():
+    return [OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3,
+            OptLevel.OVERIFY]

@@ -1,0 +1,440 @@
+"""Unit tests for the IR core: types, values, use lists, builder, printer,
+and the structural verifier."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType, BasicBlock, BinaryInst, BranchInst, ConstantArray, ConstantInt,
+    Function, FunctionType, GEPInst, ICmpPredicate, IRBuilder, IntType,
+    Module, Opcode, PhiInst, PointerType, ReturnInst, StructType, UndefValue,
+    VerificationError, VoidType, I1, I8, I32, I64, VOID, eval_binary,
+    eval_icmp, int_type, pointer_to, print_function, print_instruction,
+    print_module, verify_module,
+)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+class TestTypes:
+    def test_integer_widths_and_sizes(self):
+        assert I8.width == 8
+        assert I8.size_in_bytes() == 1
+        assert I32.size_in_bytes() == 4
+        assert I64.size_in_bytes() == 8
+        assert IntType(20).size_in_bytes() == 3
+
+    def test_integer_masks_and_bounds(self):
+        assert I8.mask == 0xFF
+        assert I8.sign_bit == 0x80
+        assert I8.min_signed == -128
+        assert I8.max_signed == 127
+        assert I8.max_unsigned == 255
+
+    def test_invalid_integer_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(1000)
+
+    def test_int_type_returns_canonical_singletons(self):
+        assert int_type(8) is I8
+        assert int_type(32) is I32
+        assert int_type(1) is I1
+
+    def test_structural_equality(self):
+        assert IntType(32) == I32
+        assert PointerType(I8) == PointerType(I8)
+        assert PointerType(I8) != PointerType(I32)
+        assert ArrayType(I8, 4) == ArrayType(I8, 4)
+
+    def test_pointer_properties(self):
+        ptr = pointer_to(I32)
+        assert ptr.is_pointer
+        assert ptr.pointee == I32
+        assert ptr.size_in_bytes() == 8
+        assert str(ptr) == "i32*"
+
+    def test_array_type(self):
+        array = ArrayType(I32, 10)
+        assert array.size_in_bytes() == 40
+        assert array.is_aggregate
+        assert str(array) == "[10 x i32]"
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_struct_layout(self):
+        struct = StructType("pair", (I32, I8, I64), ("a", "b", "c"))
+        assert struct.size_in_bytes() == 13
+        assert struct.field_offset(0) == 0
+        assert struct.field_offset(1) == 4
+        assert struct.field_offset(2) == 5
+        assert struct.field_index("c") == 2
+        with pytest.raises(KeyError):
+            struct.field_index("missing")
+        with pytest.raises(IndexError):
+            struct.field_offset(7)
+
+    def test_function_type(self):
+        fty = FunctionType(I32, (I32, PointerType(I8)))
+        assert fty.is_function
+        assert not fty.is_first_class
+        assert "i32" in str(fty)
+
+    def test_void_properties(self):
+        assert VOID.is_void
+        assert not VOID.is_first_class
+        assert not I32.is_void
+        assert I32.is_first_class
+
+
+# ---------------------------------------------------------------------------
+# Constants and use lists
+# ---------------------------------------------------------------------------
+class TestValues:
+    def test_constant_int_wraps_to_width(self):
+        c = ConstantInt(I8, 300)
+        assert c.value == 44
+        assert ConstantInt(I8, -1).value == 255
+        assert ConstantInt(I8, -1).is_all_ones
+
+    def test_constant_int_signed_view(self):
+        assert ConstantInt(I8, 255).signed_value == -1
+        assert ConstantInt(I8, 127).signed_value == 127
+        assert ConstantInt(I32, 2**31).signed_value == -(2**31)
+
+    def test_constant_flags(self):
+        assert ConstantInt(I32, 0).is_zero
+        assert ConstantInt(I32, 1).is_one
+        assert not ConstantInt(I32, 2).is_one
+
+    def test_constant_array_from_string(self):
+        arr = ConstantArray.from_string("hi")
+        assert arr.as_bytes() == b"hi\x00"
+        assert arr.type == ArrayType(I8, 3)
+
+    def test_use_lists_and_rauw(self):
+        a = ConstantInt(I32, 1)
+        b = ConstantInt(I32, 2)
+        add = BinaryInst(Opcode.ADD, a, b)
+        assert a.num_uses == 1
+        assert add.operands == [a, b]
+        c = ConstantInt(I32, 3)
+        a.replace_all_uses_with(c)
+        assert add.operands[0] is c
+        assert a.num_uses == 0
+        assert c.num_uses == 1
+
+    def test_drop_all_references(self):
+        a = ConstantInt(I32, 1)
+        add = BinaryInst(Opcode.ADD, a, a)
+        assert a.num_uses == 2
+        add.drop_all_references()
+        assert a.num_uses == 0
+
+    def test_users_deduplicated(self):
+        a = ConstantInt(I32, 1)
+        add = BinaryInst(Opcode.ADD, a, a)
+        assert add in a.users()
+        assert len(a.users()) == 1
+
+
+# ---------------------------------------------------------------------------
+# eval helpers (shared constant-folding semantics)
+# ---------------------------------------------------------------------------
+class TestEvalHelpers:
+    @pytest.mark.parametrize("opcode,lhs,rhs,expected", [
+        (Opcode.ADD, 200, 100, 44),        # i8 wraparound
+        (Opcode.SUB, 5, 10, 251),
+        (Opcode.MUL, 16, 16, 0),
+        (Opcode.AND, 0b1100, 0b1010, 0b1000),
+        (Opcode.OR, 0b1100, 0b1010, 0b1110),
+        (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        (Opcode.SHL, 1, 3, 8),
+        (Opcode.LSHR, 0x80, 7, 1),
+        (Opcode.ASHR, 0x80, 7, 0xFF),      # sign extension
+        (Opcode.UDIV, 100, 7, 14),
+        (Opcode.UREM, 100, 7, 2),
+    ])
+    def test_eval_binary_i8(self, opcode, lhs, rhs, expected):
+        assert eval_binary(opcode, I8, lhs, rhs) == expected
+
+    def test_eval_binary_signed_division(self):
+        # -7 / 2 truncates toward zero = -3.
+        assert eval_binary(Opcode.SDIV, I8, 256 - 7, 2) == (256 - 3)
+        # -7 % 2 = -1.
+        assert eval_binary(Opcode.SREM, I8, 256 - 7, 2) == 255
+
+    def test_eval_binary_division_by_zero_is_none(self):
+        assert eval_binary(Opcode.UDIV, I32, 1, 0) is None
+        assert eval_binary(Opcode.SREM, I32, 1, 0) is None
+
+    @pytest.mark.parametrize("pred,lhs,rhs,expected", [
+        (ICmpPredicate.EQ, 5, 5, True),
+        (ICmpPredicate.NE, 5, 5, False),
+        (ICmpPredicate.ULT, 1, 255, True),
+        (ICmpPredicate.SLT, 1, 255, False),   # 255 is -1 signed
+        (ICmpPredicate.SGT, 1, 255, True),
+        (ICmpPredicate.UGE, 255, 255, True),
+        (ICmpPredicate.SLE, 128, 127, True),  # -128 <= 127
+    ])
+    def test_eval_icmp_i8(self, pred, lhs, rhs, expected):
+        assert eval_icmp(pred, I8, lhs, rhs) is expected
+
+    def test_predicate_inverse_and_swap(self):
+        for pred in ICmpPredicate:
+            assert pred.inverse().inverse() is pred
+            assert pred.swapped().swapped() is pred
+        assert ICmpPredicate.SLT.inverse() is ICmpPredicate.SGE
+        assert ICmpPredicate.SLT.swapped() is ICmpPredicate.SGT
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+def _new_function(name="f", ret=I32, params=()):
+    module = Module("test")
+    function = module.create_function(name, FunctionType(ret, tuple(params)))
+    block = BasicBlock("entry")
+    function.append_block(block)
+    builder = IRBuilder()
+    builder.set_insert_point(block)
+    return module, function, builder
+
+
+class TestBuilder:
+    def test_constant_folding_on_add(self):
+        _, _, builder = _new_function()
+        result = builder.add(ConstantInt(I32, 2), ConstantInt(I32, 3))
+        assert isinstance(result, ConstantInt)
+        assert result.value == 5
+
+    def test_no_fold_with_non_constant(self):
+        _, function, builder = _new_function(params=[I32])
+        arg = function.arguments[0]
+        result = builder.add(arg, ConstantInt(I32, 3))
+        assert isinstance(result, BinaryInst)
+        assert result.parent is function.entry_block
+
+    def test_icmp_folding(self):
+        _, _, builder = _new_function()
+        result = builder.icmp_eq(ConstantInt(I32, 1), ConstantInt(I32, 1))
+        assert isinstance(result, ConstantInt)
+        assert result.value == 1
+
+    def test_select_with_constant_condition(self):
+        _, _, builder = _new_function()
+        a, b = ConstantInt(I32, 10), ConstantInt(I32, 20)
+        assert builder.select(builder.true(), a, b) is a
+        assert builder.select(builder.false(), a, b) is b
+
+    def test_casts_fold_constants(self):
+        _, _, builder = _new_function()
+        assert builder.zext(ConstantInt(I8, 200), I32).value == 200
+        assert builder.sext(ConstantInt(I8, 200), I32).value == \
+            (200 - 256) & 0xFFFFFFFF
+        assert builder.trunc(ConstantInt(I32, 0x1FF), I8).value == 0xFF
+
+    def test_int_cast_picks_direction(self):
+        _, function, builder = _new_function(params=[I8])
+        arg = function.arguments[0]
+        widened = builder.int_cast(arg, I32, signed=False)
+        assert widened.opcode is Opcode.ZEXT
+        widened_signed = builder.int_cast(arg, I32, signed=True)
+        assert widened_signed.opcode is Opcode.SEXT
+        assert builder.int_cast(arg, I8, signed=True) is arg
+
+    def test_terminators_and_memory(self):
+        module, function, builder = _new_function()
+        slot = builder.alloca(I32, name="x")
+        builder.store(ConstantInt(I32, 7), slot)
+        loaded = builder.load(slot)
+        builder.ret(loaded)
+        verify_module(module)
+        assert function.entry_block.terminator is not None
+        assert function.instruction_count() == 4
+
+    def test_builder_names_values_uniquely(self):
+        _, function, builder = _new_function(params=[I32])
+        arg = function.arguments[0]
+        v1 = builder.add(arg, ConstantInt(I32, 1))
+        v2 = builder.add(arg, ConstantInt(I32, 2))
+        assert v1.name and v2.name and v1.name != v2.name
+
+    def test_phi_and_cond_br(self):
+        module, function, builder = _new_function(params=[I32])
+        arg = function.arguments[0]
+        then_block = BasicBlock("then")
+        else_block = BasicBlock("else")
+        join = BasicBlock("join")
+        for block in (then_block, else_block, join):
+            function.append_block(block)
+        cond = builder.icmp_ne(arg, ConstantInt(I32, 0))
+        builder.cond_br(cond, then_block, else_block)
+        builder.set_insert_point(then_block)
+        builder.br(join)
+        builder.set_insert_point(else_block)
+        builder.br(join)
+        builder.set_insert_point(join)
+        phi = builder.phi(I32, "merged")
+        phi.add_incoming(ConstantInt(I32, 1), then_block)
+        phi.add_incoming(ConstantInt(I32, 2), else_block)
+        builder.ret(phi)
+        verify_module(module)
+        assert phi.incoming_value_for(then_block).value == 1
+        assert set(b.name for b in function.entry_block.successors()) == \
+            {"then", "else"}
+        assert join.predecessors() == [then_block, else_block]
+
+
+# ---------------------------------------------------------------------------
+# Printer
+# ---------------------------------------------------------------------------
+class TestPrinter:
+    def test_print_module_contains_functions_and_globals(self):
+        module = Module("m")
+        module.add_global("g", I32, ConstantInt(I32, 5))
+        function = module.create_function("f", FunctionType(I32, (I32,)),
+                                          ["x"])
+        block = function.append_block(BasicBlock("entry"))
+        builder = IRBuilder()
+        builder.set_insert_point(block)
+        builder.ret(builder.add(function.arguments[0], ConstantInt(I32, 1)))
+        text = print_module(module)
+        assert "@g = global i32 5" in text
+        assert "define i32 @f(i32 %x)" in text
+        assert "ret i32" in text
+
+    def test_print_declaration(self):
+        module = Module("m")
+        module.create_function("ext", FunctionType(VOID, ()))
+        assert "declare void @ext()" in print_module(module)
+
+    def test_print_instruction_metadata(self):
+        a = ConstantInt(I32, 1)
+        inst = BinaryInst(Opcode.ADD, a, a, "x")
+        inst.metadata["range"] = (0, 2)
+        text = print_instruction(inst)
+        assert "%x = add i32 1, 1" in text
+        assert "range" in text
+
+    def test_print_gep_and_branch(self):
+        module, function, builder = _new_function(params=[PointerType(I8)])
+        ptr = function.arguments[0]
+        gep = builder.gep(ptr, [ConstantInt(I64, 3)], I8)
+        builder.ret(ConstantInt(I32, 0))
+        text = print_function(function)
+        assert "getelementptr" in text
+
+
+# ---------------------------------------------------------------------------
+# Verifier
+# ---------------------------------------------------------------------------
+class TestVerifier:
+    def test_accepts_valid_function(self):
+        module, _, builder = _new_function()
+        builder.ret(ConstantInt(I32, 0))
+        verify_module(module)  # must not raise
+
+    def test_rejects_missing_terminator(self):
+        module, function, builder = _new_function()
+        builder.add(ConstantInt(I32, 1), ConstantInt(I32, 2))
+        # No terminator in the entry block.
+        with pytest.raises(VerificationError, match="no terminator"):
+            verify_module(module)
+
+    def test_rejects_return_type_mismatch(self):
+        module, function, builder = _new_function(ret=I32)
+        builder.ret(ConstantInt(I8, 0))
+        with pytest.raises(VerificationError, match="ret type"):
+            verify_module(module)
+
+    def test_rejects_bad_store_type(self):
+        module, _, builder = _new_function()
+        slot = builder.alloca(I32)
+        # Store an i8 through an i32*.
+        from repro.ir import StoreInst
+        bad = StoreInst(ConstantInt(I8, 1), slot)
+        builder.block.insert_before(builder.block.instructions[-1], bad) \
+            if builder.block.instructions else builder.block.append_instruction(bad)
+        builder.ret(ConstantInt(I32, 0))
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_rejects_branch_condition_not_i1(self):
+        module, function, builder = _new_function()
+        other = BasicBlock("other")
+        function.append_block(other)
+        builder.cond_br(ConstantInt(I32, 1), other, other)
+        builder.set_insert_point(other)
+        builder.ret(ConstantInt(I32, 0))
+        with pytest.raises(VerificationError, match="not i1"):
+            verify_module(module)
+
+    def test_rejects_phi_with_wrong_predecessors(self):
+        module, function, builder = _new_function()
+        join = BasicBlock("join")
+        function.append_block(join)
+        builder.br(join)
+        builder.set_insert_point(join)
+        phi = builder.phi(I32)
+        stray = BasicBlock("stray")
+        phi.add_incoming(ConstantInt(I32, 1), stray)
+        builder.ret(phi)
+        with pytest.raises(VerificationError, match="phi"):
+            verify_module(module)
+
+    def test_rejects_call_arity_mismatch(self):
+        module = Module("m")
+        callee = module.create_function("callee", FunctionType(I32, (I32,)))
+        caller = module.create_function("caller", FunctionType(I32, ()))
+        block = caller.append_block(BasicBlock("entry"))
+        builder = IRBuilder()
+        builder.set_insert_point(block)
+        result = builder.call(callee, [])
+        builder.ret(ConstantInt(I32, 0))
+        with pytest.raises(VerificationError, match="args"):
+            verify_module(module)
+
+
+# ---------------------------------------------------------------------------
+# Module-level containers
+# ---------------------------------------------------------------------------
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.create_function("f", FunctionType(VOID, ()))
+        with pytest.raises(ValueError):
+            module.create_function("f", FunctionType(VOID, ()))
+
+    def test_duplicate_global_rejected(self):
+        module = Module("m")
+        module.add_global("g", I32)
+        with pytest.raises(ValueError):
+            module.add_global("g", I32)
+
+    def test_unique_global_name(self):
+        module = Module("m")
+        module.add_global("g", I32)
+        assert module.unique_global_name("g") == "g.1"
+        assert module.unique_global_name("h") == "h"
+
+    def test_defined_vs_declared(self):
+        module = Module("m")
+        declared = module.create_function("d", FunctionType(VOID, ()))
+        defined = module.create_function("f", FunctionType(VOID, ()))
+        defined.append_block(BasicBlock("entry"))
+        assert declared in module.declared_functions()
+        assert defined in module.defined_functions()
+
+    def test_instruction_and_block_counts(self):
+        module, function, builder = _new_function()
+        builder.ret(ConstantInt(I32, 0))
+        assert module.instruction_count() == 1
+        assert module.block_count() == 1
+
+    def test_get_function_errors(self):
+        module = Module("m")
+        with pytest.raises(KeyError):
+            module.get_function("missing")
+        assert module.get_function_or_none("missing") is None

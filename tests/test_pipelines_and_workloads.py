@@ -1,0 +1,293 @@
+"""Integration tests: the libc variants, the workload suite, the optimization
+pipelines, and the paper's headline claims."""
+
+import pytest
+
+from repro.analysis import module_metrics
+from repro.interp import Interpreter, run_module
+from repro.pipelines import (
+    CompileOptions, OptLevel, build_pipeline, compile_source, link_sources,
+    pipeline_description,
+)
+from repro.symex import SymexLimits, explore
+from repro.vlibc import EXECUTION_LIBC, LIBC_FUNCTIONS, VERIFICATION_LIBC, libc_source
+from repro.workloads import (
+    WC_PROGRAM, all_workloads, get_workload, reference_word_count,
+    workload_names,
+)
+
+
+# ---------------------------------------------------------------------------
+# C library variants
+# ---------------------------------------------------------------------------
+def _call_libc(variant_source: str, function: str, args, buffers=None):
+    """Compile one libc variant standalone and call a function in it."""
+    from repro.frontend import compile_to_ir
+
+    module = compile_to_ir(variant_source)
+    interp = Interpreter(module)
+    concrete_args = []
+    for arg in args:
+        if isinstance(arg, bytes):
+            concrete_args.append(interp.allocate_buffer(arg + b"\x00"))
+        else:
+            concrete_args.append(arg)
+    result = interp.run_function(function, concrete_args)
+    assert not result.crashed, result.error
+    return result.return_value
+
+
+class TestVlibc:
+    def test_both_variants_define_the_same_api(self):
+        from repro.frontend import compile_to_ir
+        for source in (EXECUTION_LIBC, VERIFICATION_LIBC):
+            module = compile_to_ir(source)
+            for name in LIBC_FUNCTIONS:
+                function = module.get_function(name)
+                assert not function.is_declaration
+
+    @pytest.mark.parametrize("char", [0, ord(" "), ord("\t"), ord("\n"),
+                                      ord("a"), ord("Z"), ord("5"), ord("!"),
+                                      127, 200])
+    def test_ctype_variants_agree_with_python(self, char):
+        import string
+        expectations = {
+            "isspace": chr(char) in " \t\n\r\x0b\x0c",
+            "isdigit": chr(char).isdigit() if char < 128 else False,
+            "isalpha": chr(char) in string.ascii_letters,
+            "isupper": chr(char) in string.ascii_uppercase,
+            "islower": chr(char) in string.ascii_lowercase,
+        }
+        for function, expected in expectations.items():
+            for source in (EXECUTION_LIBC, VERIFICATION_LIBC):
+                got = _call_libc(source, function, [char])
+                assert bool(got) == expected, (function, char, source[:20])
+
+    @pytest.mark.parametrize("a,b,expected_sign", [
+        (b"abc", b"abc", 0), (b"abc", b"abd", -1), (b"abd", b"abc", 1),
+        (b"ab", b"abc", -1), (b"abc", b"ab", 1), (b"", b"", 0),
+    ])
+    def test_strcmp_variants_agree(self, a, b, expected_sign):
+        for source in (EXECUTION_LIBC, VERIFICATION_LIBC):
+            value = _call_libc(source, "strcmp", [a, b])
+            signed = value - (1 << 32) if value >= (1 << 31) else value
+            if expected_sign == 0:
+                assert signed == 0
+            else:
+                assert (signed > 0) == (expected_sign > 0)
+
+    @pytest.mark.parametrize("text", [b"", b"a", b"hello world"])
+    def test_strlen_variants(self, text):
+        for source in (EXECUTION_LIBC, VERIFICATION_LIBC):
+            assert _call_libc(source, "strlen", [text]) == len(text)
+
+    @pytest.mark.parametrize("text,expected", [
+        (b"42", 42), (b"-7", -7 & 0xFFFFFFFF), (b"  19x", 19), (b"x", 0),
+    ])
+    def test_atoi_variants(self, text, expected):
+        for source in (EXECUTION_LIBC, VERIFICATION_LIBC):
+            assert _call_libc(source, "atoi", [text]) == expected
+
+    def test_toupper_tolower_variants(self):
+        for source in (EXECUTION_LIBC, VERIFICATION_LIBC):
+            assert _call_libc(source, "toupper", [ord("a")]) == ord("A")
+            assert _call_libc(source, "toupper", [ord("A")]) == ord("A")
+            assert _call_libc(source, "tolower", [ord("Z")]) == ord("z")
+            assert _call_libc(source, "tolower", [ord("5")]) == ord("5")
+
+    def test_verification_variant_has_fewer_branches(self):
+        from repro.frontend import compile_to_ir
+        exec_metrics = module_metrics(compile_to_ir(EXECUTION_LIBC))
+        verify_metrics = module_metrics(compile_to_ir(VERIFICATION_LIBC))
+        exec_ctype = sum(exec_metrics.per_function[n].conditional_branches
+                         for n in ("isspace", "isalpha", "isalnum"))
+        verify_ctype = sum(verify_metrics.per_function[n].conditional_branches
+                           for n in ("isspace", "isalpha", "isalnum"))
+        assert verify_ctype < exec_ctype
+
+    def test_libc_source_selector(self):
+        assert libc_source(True) is VERIFICATION_LIBC
+        assert libc_source(False) is EXECUTION_LIBC
+
+
+# ---------------------------------------------------------------------------
+# Pipelines
+# ---------------------------------------------------------------------------
+class TestPipelines:
+    def test_pipeline_descriptions(self):
+        assert pipeline_description(OptLevel.O0) == ["simplifycfg"]
+        overify = pipeline_description(OptLevel.OVERIFY)
+        assert "inline" in overify and "ifconvert" in overify
+        assert "annotate" in overify and "runtime-checks" in overify
+
+    def test_levels_are_ordered_by_aggressiveness(self):
+        assert len(pipeline_description(OptLevel.O1)) < \
+            len(pipeline_description(OptLevel.O2)) < \
+            len(pipeline_description(OptLevel.OVERIFY))
+
+    def test_link_sources_selects_libc_variant(self):
+        overify = link_sources("int main(unsigned char *i, int l) { return 0; }",
+                               CompileOptions(level=OptLevel.OVERIFY))
+        o3 = link_sources("int main(unsigned char *i, int l) { return 0; }",
+                          CompileOptions(level=OptLevel.O3))
+        assert "__overify_check_fail" in overify
+        # The branch-free isspace only exists in the verification variant.
+        assert "(c == ' ') | ((c >= '\\t') & (c <= '\\r'))" in overify
+        assert "(c == ' ') | ((c >= '\\t') & (c <= '\\r'))" not in o3
+
+    def test_compilation_result_metadata(self):
+        result = compile_source(WC_PROGRAM,
+                                CompileOptions(level=OptLevel.O2))
+        assert result.level is OptLevel.O2
+        assert result.module.metadata["opt_level"] == "-O2"
+        assert result.compile_seconds > 0
+        assert result.instruction_count > 0
+
+    @pytest.mark.parametrize("level", list(OptLevel))
+    def test_every_level_produces_verified_ir(self, level):
+        result = compile_source(WC_PROGRAM, CompileOptions(
+            level=level, verify_after_each_pass=True))
+        assert result.instruction_count > 0
+
+    def test_overify_reduces_branches_vs_o3(self):
+        o3 = compile_source(WC_PROGRAM, CompileOptions(level=OptLevel.O3))
+        overify = compile_source(WC_PROGRAM,
+                                 CompileOptions(level=OptLevel.OVERIFY))
+        assert module_metrics(overify.module).conditional_branches < \
+            module_metrics(o3.module).conditional_branches
+        assert module_metrics(overify.module).selects > 0
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+SAMPLE_INPUTS = [b"", b"a", b"hello world\n", b"n1:2\n3:4\n", b"/usr/bin/env",
+                 b"7*6", b"  42  ", bytes(range(1, 11))]
+
+
+class TestWorkloads:
+    def test_registry_is_populated(self):
+        names = workload_names()
+        assert len(names) >= 30
+        assert "wc" in names and "cat" in names and "expr" in names
+
+    def test_workload_lookup_errors(self):
+        with pytest.raises(KeyError):
+            get_workload("not-a-real-utility")
+
+    def test_buggy_category_separate(self):
+        buggy = workload_names("buggy")
+        assert set(buggy) == {"buggy_index", "buggy_div"}
+        assert "buggy_index" not in workload_names("coreutils")
+
+    @pytest.mark.parametrize("name", workload_names("coreutils"))
+    def test_every_workload_compiles_at_o0_and_overify(self, name):
+        workload = get_workload(name)
+        o0 = compile_source(workload.source, CompileOptions(level=OptLevel.O0))
+        overify = compile_source(workload.source,
+                                 CompileOptions(level=OptLevel.OVERIFY))
+        assert o0.instruction_count > 0
+        assert overify.instruction_count > 0
+
+    @pytest.mark.parametrize("name", workload_names("coreutils"))
+    def test_optimization_levels_agree_on_concrete_inputs(self, name):
+        """Differential test: -O0, -O3 and -OVERIFY must behave identically
+        (same return value, same crash/no-crash) on concrete inputs."""
+        workload = get_workload(name)
+        modules = {
+            level: compile_source(workload.source,
+                                  CompileOptions(level=level)).module
+            for level in (OptLevel.O0, OptLevel.O3, OptLevel.OVERIFY)
+        }
+        for sample in SAMPLE_INPUTS[:5]:
+            outcomes = {}
+            for level, module in modules.items():
+                result = run_module(module, sample)
+                outcomes[level] = (result.return_value, result.crashed)
+            assert outcomes[OptLevel.O0] == outcomes[OptLevel.O3] == \
+                outcomes[OptLevel.OVERIFY], (name, sample, outcomes)
+
+    def test_wc_reference_matches_compiled_kernel(self):
+        module = compile_source(WC_PROGRAM,
+                                CompileOptions(level=OptLevel.O2)).module
+        for text in (b"one two  three", b"", b"words,with;separators!"):
+            for any_flag in (0, 1):
+                result = run_module(module, bytes([any_flag]) + text)
+                assert result.return_value == \
+                    reference_word_count(text, bool(any_flag))
+
+
+# ---------------------------------------------------------------------------
+# The paper's headline claims (scaled-down)
+# ---------------------------------------------------------------------------
+class TestPaperClaims:
+    INPUT_BYTES = 3
+
+    def _paths(self, level):
+        module = compile_source(WC_PROGRAM, CompileOptions(level=level)).module
+        report = explore(module, self.INPUT_BYTES,
+                         limits=SymexLimits(timeout_seconds=120))
+        return report
+
+    def test_overify_explores_dramatically_fewer_paths(self):
+        o0 = self._paths(OptLevel.O0)
+        overify = self._paths(OptLevel.OVERIFY)
+        assert overify.stats.total_paths * 10 <= o0.stats.total_paths
+        assert overify.stats.instructions_interpreted * 5 <= \
+            o0.stats.instructions_interpreted
+
+    def test_o0_and_o2_explore_the_same_paths(self):
+        # Table 1: -O0 and -O2 have identical path counts (30537 in the
+        # paper) because -O2 does not change the program's branch structure.
+        o0 = self._paths(OptLevel.O0)
+        o2 = self._paths(OptLevel.O2)
+        assert o0.stats.total_paths == o2.stats.total_paths
+
+    def test_all_levels_return_consistent_path_results(self):
+        # Each completed path's generated test input must reproduce the same
+        # return value on the -O0 build (cross-build consistency).
+        overify_module = compile_source(
+            WC_PROGRAM, CompileOptions(level=OptLevel.OVERIFY)).module
+        o0_module = compile_source(
+            WC_PROGRAM, CompileOptions(level=OptLevel.O0)).module
+        report = explore(overify_module, self.INPUT_BYTES,
+                         limits=SymexLimits(timeout_seconds=60))
+        for path in report.paths:
+            if path.test_input is None or path.return_value is None:
+                continue
+            concrete = run_module(o0_module, path.test_input)
+            assert concrete.return_value == path.return_value
+
+    @pytest.mark.parametrize("name", ["buggy_index", "buggy_div"])
+    def test_bug_parity_across_levels(self, name):
+        """§4: all bugs found at -O0 and -O3 are also found at -OSYMBEX."""
+        workload = get_workload(name)
+        kinds = {}
+        for level in (OptLevel.O0, OptLevel.O3, OptLevel.OVERIFY):
+            module = compile_source(workload.source,
+                                    CompileOptions(level=level)).module
+            report = explore(module, 2,
+                             limits=SymexLimits(timeout_seconds=60))
+            kinds[level] = {bug.kind for bug in report.bugs}
+        assert kinds[OptLevel.O0], "the planted bug must be found at -O0"
+        assert kinds[OptLevel.O0] <= kinds[OptLevel.OVERIFY]
+        assert kinds[OptLevel.O3] <= kinds[OptLevel.OVERIFY]
+
+    def test_verification_time_conflicts_with_execution_time(self):
+        """The paper's core observation: the branch-free build verifies much
+        faster even though it is not the fastest build to execute."""
+        o3 = compile_source(WC_PROGRAM, CompileOptions(level=OptLevel.O3))
+        overify = compile_source(WC_PROGRAM,
+                                 CompileOptions(level=OptLevel.OVERIFY))
+        o3_report = explore(o3.module, self.INPUT_BYTES,
+                            limits=SymexLimits(timeout_seconds=120))
+        overify_report = explore(overify.module, self.INPUT_BYTES,
+                                 limits=SymexLimits(timeout_seconds=120))
+        assert overify_report.stats.total_paths < o3_report.stats.total_paths
+        # Execution: the -OVERIFY build executes at least as many dynamic
+        # instructions per concrete run as -O3 executes (the cost of
+        # speculation) — "this illustrates the conflicting requirements".
+        text = bytes([1]) + b"several words for counting here today"
+        o3_run = run_module(o3.module, text)
+        overify_run = run_module(overify.module, text)
+        assert overify_run.return_value == o3_run.return_value

