@@ -1,0 +1,72 @@
+"""Benchmark for the compile side of the pipeline: front end + pass pipeline
+at every optimization level on the largest registered workload.
+
+The analysis-manager refactor targets exactly this cost — the paper's
+Table 3 / Figure 4 wall-clock is dominated by how fast the (much longer)
+-OVERIFY pipeline can run — so tracking ``build_pipeline(level).run(module)``
+across levels makes the compile-side effect of analysis caching visible in
+the benchmark trajectory.
+
+Run with:  python -m pytest benchmarks/test_pipeline_compile_bench.py --benchmark-only
+"""
+
+import pytest
+
+from repro.frontend import analyze, lower, parse
+from repro.pipelines import CompileOptions, OptLevel, build_pipeline, link_sources
+from repro.workloads import all_workloads
+
+LEVELS = [OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3,
+          OptLevel.OVERIFY]
+
+
+def _largest_workload():
+    return max(all_workloads(), key=lambda w: len(w.source))
+
+
+def _lower_workload(level: OptLevel):
+    workload = _largest_workload()
+    source = link_sources(workload.source, CompileOptions(level=level))
+    unit = parse(source)
+    analyze(unit)
+    return workload, lower(unit, workload.name)
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=[str(l) for l in LEVELS])
+def test_pipeline_compile_time(benchmark, level):
+    """Pipeline construction + run on a freshly lowered module (the front
+    end runs in the per-round setup, outside the timed region)."""
+    workload = _largest_workload()
+    pipelines = []
+
+    def setup():
+        # Lower anew each round: passes mutate the module in place.
+        _, module = _lower_workload(level)
+        return (module,), {}
+
+    def build_and_run(module):
+        pipeline = build_pipeline(level)
+        pipeline.run_until_fixpoint(module)
+        pipelines.append(pipeline)
+
+    benchmark.pedantic(build_and_run, setup=setup, rounds=3,
+                       warmup_rounds=1)
+    pipeline = pipelines[-1]
+    stats = pipeline.analyses.stats
+    benchmark.extra_info["workload"] = workload.name
+    benchmark.extra_info["level"] = str(level)
+    benchmark.extra_info["passes_run"] = len(pipeline.history)
+    benchmark.extra_info["analysis_cache_hits"] = stats.hits
+    benchmark.extra_info["analysis_cache_misses"] = stats.misses
+    benchmark.extra_info["analysis_cache_hit_rate"] = round(stats.hit_rate, 3)
+
+
+def test_analysis_cache_effective_on_overify():
+    """Smoke check (no --benchmark-only needed): the -OVERIFY pipeline —
+    the longest one — actually exercises the analysis cache."""
+    _, module = _lower_workload(OptLevel.OVERIFY)
+    pipeline = build_pipeline(OptLevel.OVERIFY)
+    pipeline.run_until_fixpoint(module)
+    stats = pipeline.analyses.stats
+    assert stats.hits > 0, "expected analysis cache hits in a long pipeline"
+    assert stats.misses > 0

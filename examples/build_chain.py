@@ -17,6 +17,7 @@ Run with:  python examples/build_chain.py [workload-name]
 
 import sys
 
+from repro.harness import format_pass_history
 from repro.interp import run_module
 from repro.pipelines import (
     CompileOptions, OptLevel, compile_source, pipeline_description,
@@ -47,6 +48,17 @@ def main() -> None:
         print(f"{'':>21}passes: {', '.join(passes[:8])}"
               f"{' ...' if len(passes) > 8 else ''}")
         print(f"{'':>21}static instructions: {compiled.instruction_count}")
+        if compiled.analysis_stats is not None:
+            cache = compiled.analysis_stats
+            print(f"{'':>21}analysis cache: {cache.hits} hits / "
+                  f"{cache.misses} misses "
+                  f"({cache.hit_rate:.0%} hit rate)")
+    print()
+
+    print("Per-pass timing of the verification pipeline (cached analyses):")
+    overify = built["automated analysis"]
+    print(format_pass_history(overify.pass_history[:12],
+                              title="-OVERIFY pipeline (first 12 pass runs)"))
     print()
 
     print("Running the release build on concrete input "

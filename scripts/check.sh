@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI-style gate: tier-1 tests, an IR-verified compile of every workload at
+# every level (PassManager verify_after_each=True, so the IR verifier runs
+# after each individual pass), and a fast benchmark smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="$PWD/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== IR invariants: verify-after-each-pass compile of every workload =="
+python - <<'PY'
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.workloads import all_workloads
+
+levels = [OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3,
+          OptLevel.OVERIFY]
+hits = misses = 0
+for workload in all_workloads():
+    for level in levels:
+        result = compile_source(
+            workload.source,
+            CompileOptions(level=level, verify_after_each_pass=True))
+        stats = result.analysis_stats
+        hits += stats.hits
+        misses += stats.misses
+total = hits + misses
+rate = hits / total if total else 0.0
+print(f"verified {len(all_workloads())} workloads x {len(levels)} levels; "
+      f"analysis cache: {hits} hits / {misses} misses ({rate:.0%})")
+PY
+
+echo
+echo "== benchmark smoke (compile-side pipeline, no timing rounds) =="
+python -m pytest benchmarks/test_pipeline_compile_bench.py -q --benchmark-disable
+
+echo
+echo "check.sh: all gates passed"

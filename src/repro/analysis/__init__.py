@@ -2,7 +2,7 @@
 call graph, value ranges, static metrics)."""
 
 from .cfg import (
-    postorder, predecessor_map, predecessors, reachable_blocks,
+    CFG, postorder, predecessor_map, predecessors, reachable_blocks,
     remove_unreachable_blocks, reverse_postorder, split_edge, successors,
     unreachable_blocks,
 )
@@ -17,8 +17,15 @@ from .metrics import (
     verification_cost_estimate,
 )
 from .value_range import Interval, ValueRangeAnalysis, full_range
+from .manager import (
+    ALL_ANALYSES, CALLGRAPH_ANALYSIS, CFG_ANALYSIS, CFG_DERIVED,
+    DOMTREE_ANALYSIS, FUNCTION_ANALYSES, LOOPS_ANALYSIS, MODULE_ANALYSES,
+    RANGES_ANALYSIS, AnalysisManager, AnalysisManagerStats,
+    PreservedAnalyses,
+)
 
 __all__ = [
+    "CFG",
     "postorder", "predecessor_map", "predecessors", "reachable_blocks",
     "remove_unreachable_blocks", "reverse_postorder", "split_edge",
     "successors", "unreachable_blocks",
@@ -30,4 +37,8 @@ __all__ = [
     "FunctionMetrics", "ModuleMetrics", "function_metrics", "module_metrics",
     "verification_cost_estimate",
     "Interval", "ValueRangeAnalysis", "full_range",
+    "AnalysisManager", "AnalysisManagerStats", "PreservedAnalyses",
+    "ALL_ANALYSES", "FUNCTION_ANALYSES", "MODULE_ANALYSES", "CFG_DERIVED",
+    "CFG_ANALYSIS", "DOMTREE_ANALYSIS", "LOOPS_ANALYSIS", "RANGES_ANALYSIS",
+    "CALLGRAPH_ANALYSIS",
 ]

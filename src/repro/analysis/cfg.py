@@ -64,6 +64,38 @@ def reverse_postorder(function: Function) -> List[BasicBlock]:
     return list(reversed(postorder(function)))
 
 
+class CFG:
+    """A cached control-flow-graph view of one function.
+
+    Bundles the traversal orders and the predecessor map that almost every
+    other analysis starts from, so the analysis manager can compute them once
+    per function epoch and share them (the dominator tree, loop info, and
+    value-range analysis all accept a prebuilt CFG).
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.postorder: List[BasicBlock] = postorder(function)
+        self.reverse_postorder: List[BasicBlock] = list(
+            reversed(self.postorder))
+        self.preds: Dict[BasicBlock, List[BasicBlock]] = \
+            predecessor_map(function)
+        self._reachable_ids: Set[int] = {id(b) for b in self.postorder}
+
+    def predecessors(self, block: BasicBlock) -> List[BasicBlock]:
+        return self.preds.get(block, [])
+
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self._reachable_ids
+
+    def reachable_ids(self) -> Set[int]:
+        return set(self._reachable_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CFG {self.function.name} "
+                f"({len(self.postorder)} reachable blocks)>")
+
+
 def predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
     """Map every reachable block to its list of predecessors."""
     preds: Dict[BasicBlock, List[BasicBlock]] = {

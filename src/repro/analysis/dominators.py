@@ -11,15 +11,25 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..ir import BasicBlock, Function
-from .cfg import predecessor_map, reverse_postorder
+from .cfg import CFG, predecessor_map, reverse_postorder
 
 
 class DominatorTree:
-    """Immediate-dominator tree for the reachable part of a function."""
+    """Immediate-dominator tree for the reachable part of a function.
 
-    def __init__(self, function: Function) -> None:
+    Pass a prebuilt :class:`~repro.analysis.cfg.CFG` to reuse its traversal
+    order and predecessor map instead of recomputing them.
+    """
+
+    def __init__(self, function: Function,
+                 cfg: Optional[CFG] = None) -> None:
         self.function = function
-        self.rpo: List[BasicBlock] = reverse_postorder(function)
+        if cfg is not None:
+            self.rpo = list(cfg.reverse_postorder)
+            self._preds = cfg.preds
+        else:
+            self.rpo = reverse_postorder(function)
+            self._preds = predecessor_map(function)
         self._rpo_index: Dict[BasicBlock, int] = {
             block: i for i, block in enumerate(self.rpo)}
         self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
@@ -32,7 +42,7 @@ class DominatorTree:
         if not self.rpo:
             return
         entry = self.rpo[0]
-        preds = predecessor_map(self.function)
+        preds = self._preds
         idom: Dict[BasicBlock, Optional[BasicBlock]] = {
             block: None for block in self.rpo}
         idom[entry] = entry
@@ -106,7 +116,7 @@ class DominatorTree:
         """The dominance frontier of every reachable block."""
         frontier: Dict[BasicBlock, Set[BasicBlock]] = {
             block: set() for block in self.rpo}
-        preds = predecessor_map(self.function)
+        preds = self._preds
         for block in self.rpo:
             block_preds = [p for p in preds.get(block, [])
                            if p in self._rpo_index]

@@ -16,7 +16,7 @@ from ..ir import (
     BasicBlock, BinaryInst, BranchInst, ConstantInt, Function, ICmpInst,
     ICmpPredicate, Instruction, Opcode, PhiInst, Value,
 )
-from .cfg import predecessor_map
+from .cfg import CFG, predecessor_map
 from .dominators import DominatorTree
 
 
@@ -90,9 +90,11 @@ class LoopInfo:
     """All natural loops of a function, nested."""
 
     def __init__(self, function: Function,
-                 domtree: Optional[DominatorTree] = None) -> None:
+                 domtree: Optional[DominatorTree] = None,
+                 cfg: Optional[CFG] = None) -> None:
         self.function = function
-        self.domtree = domtree or DominatorTree(function)
+        self.domtree = domtree or DominatorTree(function, cfg=cfg)
+        self._cfg = cfg
         self.loops: List[Loop] = []
         self.top_level: List[Loop] = []
         self._block_to_loop: Dict[int, Loop] = {}
@@ -100,7 +102,8 @@ class LoopInfo:
 
     # ------------------------------------------------------------ discovery
     def _discover(self) -> None:
-        preds = predecessor_map(self.function)
+        preds = self._cfg.preds if self._cfg is not None \
+            else predecessor_map(self.function)
         # Find back edges.
         back_edges: Dict[BasicBlock, List[BasicBlock]] = {}
         for block in self.domtree.rpo:

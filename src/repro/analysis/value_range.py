@@ -18,7 +18,7 @@ from ..ir import (
     BinaryInst, CastInst, ConstantInt, Function, ICmpInst, ICmpPredicate,
     Instruction, IntType, Opcode, PhiInst, SelectInst, Value,
 )
-from .cfg import reverse_postorder
+from .cfg import CFG, reverse_postorder
 
 
 @dataclass(frozen=True)
@@ -106,8 +106,10 @@ class ValueRangeAnalysis:
 
     MAX_ITERATIONS = 8
 
-    def __init__(self, function: Function) -> None:
+    def __init__(self, function: Function,
+                 cfg: Optional[CFG] = None) -> None:
         self.function = function
+        self._cfg = cfg
         self.ranges: Dict[int, Interval] = {}
         self._run()
 
@@ -121,7 +123,8 @@ class ValueRangeAnalysis:
         return None
 
     def _run(self) -> None:
-        blocks = reverse_postorder(self.function)
+        blocks = self._cfg.reverse_postorder if self._cfg is not None \
+            else reverse_postorder(self.function)
         for _ in range(self.MAX_ITERATIONS):
             changed = False
             for block in blocks:

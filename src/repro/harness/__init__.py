@@ -7,7 +7,7 @@
 """
 
 from .experiment import ExperimentConfig, ExperimentResult, run_experiment, run_level_sweep
-from .report import format_bar_chart, format_table
+from .report import format_bar_chart, format_pass_history, format_table
 from .table1 import Table1, TABLE1_LEVELS, reproduce_table1
 from .table2 import AblationRow, AblationVariant, reproduce_table2, render_table2
 from .table3 import Table3, TABLE3_LEVELS, reproduce_table3
@@ -15,7 +15,7 @@ from .figure4 import Figure4, FIGURE4_LEVELS, ProgramOutcome, reproduce_figure4
 
 __all__ = [
     "ExperimentConfig", "ExperimentResult", "run_experiment", "run_level_sweep",
-    "format_bar_chart", "format_table",
+    "format_bar_chart", "format_pass_history", "format_table",
     "Table1", "TABLE1_LEVELS", "reproduce_table1",
     "AblationRow", "AblationVariant", "reproduce_table2", "render_table2",
     "Table3", "TABLE3_LEVELS", "reproduce_table3",

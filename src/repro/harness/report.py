@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..passes import PassRunRecord
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -26,6 +29,35 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     for row in materialized:
         parts.append(line(row))
     return "\n".join(parts)
+
+
+def format_pass_history(history: Sequence["PassRunRecord"],
+                        title: str = "Pass pipeline") -> str:
+    """Render per-pass timing and analysis-cache behaviour as a table.
+
+    One row per pass execution, plus a totals row; this is how the
+    compile-side effect of the analysis-manager caching shows up in the
+    harness output.
+    """
+    rows: List[List[object]] = []
+    total_seconds = 0.0
+    total_hits = 0
+    total_misses = 0
+    for record in history:
+        total_seconds += record.duration_seconds
+        total_hits += record.analysis_cache_hits
+        total_misses += record.analysis_cache_misses
+        rows.append([
+            record.pass_name,
+            "yes" if record.changed else "no",
+            f"{record.duration_seconds * 1000:.2f}",
+            record.analysis_cache_hits,
+            record.analysis_cache_misses,
+        ])
+    rows.append(["TOTAL", "", f"{total_seconds * 1000:.2f}",
+                 total_hits, total_misses])
+    headers = ["pass", "changed", "ms", "cache hits", "cache misses"]
+    return format_table(headers, rows, title=title)
 
 
 def format_bar_chart(labels: Sequence[str], values: Sequence[float],

@@ -60,14 +60,22 @@ class BasicBlock(Value):
         return None
 
     # ------------------------------------------------------------- mutation
+    def bump_ir_epoch(self) -> None:
+        """Propagate a structural change to the containing function's
+        modification epoch (no-op for detached blocks)."""
+        if self.parent is not None:
+            self.parent.bump_ir_epoch()
+
     def append_instruction(self, inst: Instruction) -> Instruction:
         inst.parent = self
         self.instructions.append(inst)
+        self.bump_ir_epoch()
         return inst
 
     def insert_instruction(self, index: int, inst: Instruction) -> Instruction:
         inst.parent = self
         self.instructions.insert(index, inst)
+        self.bump_ir_epoch()
         return inst
 
     def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
@@ -81,6 +89,7 @@ class BasicBlock(Value):
     def remove_instruction(self, inst: Instruction) -> None:
         self.instructions.remove(inst)
         inst.parent = None
+        self.bump_ir_epoch()
 
     def erase_from_parent(self) -> None:
         """Remove this block from its function and drop all its instructions."""

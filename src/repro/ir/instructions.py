@@ -185,6 +185,14 @@ class Instruction(User):
         return self.parent.parent if self.parent is not None else None
 
     # ------------------------------------------------------------ list hooks
+    def set_operand(self, index: int, value: Value) -> None:
+        super().set_operand(index, value)
+        # Operand rewrites can redirect CFG edges (branch targets), so they
+        # advance the containing function's modification epoch.
+        block = self.parent
+        if block is not None:
+            block.bump_ir_epoch()
+
     def erase_from_parent(self) -> None:
         """Unlink from the containing block and drop all operand uses."""
         if self.parent is not None:
@@ -504,6 +512,8 @@ class PhiInst(Instruction):
     def add_incoming(self, value: Value, block: "BasicBlock") -> None:
         self.append_operand(value)
         self.incoming_blocks.append(block)
+        if self.parent is not None:
+            self.parent.bump_ir_epoch()
 
     def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
         return list(zip(self.operands, self.incoming_blocks))
@@ -526,6 +536,8 @@ class PhiInst(Instruction):
                 for j in range(i, len(self.operands)):
                     self.operands[j].remove_use(self, j + 1)
                     self.operands[j].add_use(self, j)
+                if self.parent is not None:
+                    self.parent.bump_ir_epoch()
                 return
 
     def clone(self) -> "PhiInst":

@@ -18,6 +18,17 @@ class Module:
         self.globals: Dict[str, GlobalVariable] = {}
         #: Module-level metadata (e.g. which optimization level produced it).
         self.metadata: Dict[str, object] = {}
+        #: Modification epoch: advanced whenever a function is added/removed
+        #: or any contained function mutates.  Module-level analyses (the
+        #: call graph) are cached against this counter.
+        self._ir_epoch = 0
+
+    @property
+    def ir_epoch(self) -> int:
+        return self._ir_epoch
+
+    def bump_ir_epoch(self) -> None:
+        self._ir_epoch += 1
 
     # ----------------------------------------------------------- functions
     def add_function(self, function: Function) -> Function:
@@ -25,6 +36,7 @@ class Module:
             raise ValueError(f"duplicate function '{function.name}'")
         function.parent = self
         self.functions[function.name] = function
+        self.bump_ir_epoch()
         return function
 
     def create_function(self, name: str, function_type: FunctionType,
@@ -43,6 +55,7 @@ class Module:
     def remove_function(self, function: Function) -> None:
         del self.functions[function.name]
         function.parent = None
+        self.bump_ir_epoch()
 
     def defined_functions(self) -> List[Function]:
         return [f for f in self.functions.values() if not f.is_declaration]

@@ -1,5 +1,6 @@
 """repro.passes — the optimization passes and pass manager."""
 
+from ..analysis import AnalysisManager, PreservedAnalyses
 from .pass_manager import Pass, PassManager, PassRunRecord, TransformStats
 from .mem2reg import PromoteMemoryToRegisters
 from .sroa import ScalarReplacementOfAggregates
@@ -21,6 +22,7 @@ from .loop_utils import (
 )
 
 __all__ = [
+    "AnalysisManager", "PreservedAnalyses",
     "Pass", "PassManager", "PassRunRecord", "TransformStats",
     "PromoteMemoryToRegisters",
     "ScalarReplacementOfAggregates",

@@ -24,7 +24,7 @@ verification tool itself.
 from __future__ import annotations
 
 from ..analysis import (
-    LoopInfo, ValueRangeAnalysis, compute_trip_count, full_range,
+    AnalysisManager, PreservedAnalyses, compute_trip_count, full_range,
     underlying_object,
 )
 from ..ir import (
@@ -39,12 +39,13 @@ class AnnotateForVerification(Pass):
 
     name = "annotate"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
-        ranges = ValueRangeAnalysis(function)
-        loop_info = LoopInfo(function)
+        ranges = analyses.value_ranges(function)
+        loop_info = analyses.loop_info(function)
 
         for block in function.blocks:
             depth = loop_info.loop_depth(block)
@@ -75,4 +76,7 @@ class AnnotateForVerification(Pass):
                     self.stats.annotations_added += 1
                     changed = True
         function.metadata["annotated_for_verification"] = True
-        return changed
+        # Annotation writes metadata only — the IR structure and values are
+        # untouched, so every analysis remains valid (and re-running this
+        # pass is a pure cache hit).
+        return PreservedAnalyses.all(changed=changed)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..analysis import underlying_object
+from ..analysis import AnalysisManager, PreservedAnalyses, underlying_object
 from ..ir import (
     AllocaInst, BasicBlock, BranchInst, CallInst, ConstantInt, Function,
     FunctionType, GlobalVariable, ICmpInst, ICmpPredicate, Instruction,
@@ -53,9 +53,10 @@ class InsertRuntimeChecks(Pass):
 
     name = "runtime-checks"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         module = function.parent
         assert module is not None
         fail = get_or_create_check_fail(module)
@@ -70,7 +71,9 @@ class InsertRuntimeChecks(Pass):
             self._insert_null_check(function, fail, inst)
             self.stats.checks_inserted += 1
             changed = True
-        return changed
+        # Each check splits a block and adds a failure arm.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
     def _insert_null_check(self, function: Function, fail: Function,
                            access: Instruction) -> None:

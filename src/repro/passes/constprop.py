@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..analysis import AnalysisManager, PreservedAnalyses
 from ..ir import (
     BinaryInst, CastInst, ConstantInt, Function, ICmpInst, Instruction,
     IntType, Opcode, PhiInst, SelectInst, Value, eval_binary, eval_icmp,
@@ -79,9 +80,10 @@ class ConstantPropagation(Pass):
 
     name = "constprop"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         progress = True
         while progress:
@@ -95,4 +97,8 @@ class ConstantPropagation(Pass):
                         self.stats.instructions_folded += 1
                         progress = True
                         changed = True
-        return changed
+        if not changed:
+            return PreservedAnalyses.unchanged()
+        # Folding never rewrites terminators (SimplifyCFG folds constant
+        # branches), so the CFG-derived analyses stay valid.
+        return PreservedAnalyses.cfg_preserving()

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Set
 
+from ..analysis import (
+    FUNCTION_ANALYSES, AnalysisManager, PreservedAnalyses,
+)
 from ..ir import (
     AllocaInst, CallInst, Function, GEPInst, Instruction, LoadInst, Module,
     Opcode, StoreInst,
@@ -34,9 +37,10 @@ class DeadCodeElimination(Pass):
 
     name = "dce"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         progress = True
         while progress:
@@ -49,7 +53,10 @@ class DeadCodeElimination(Pass):
                         progress = True
                         changed = True
             progress |= self._remove_dead_allocas(function)
-        return changed
+        if not changed:
+            return PreservedAnalyses.unchanged()
+        # Only non-terminator instructions are removed; CFG shape survives.
+        return PreservedAnalyses.cfg_preserving()
 
     def _remove_dead_allocas(self, function: Function) -> bool:
         """Remove allocas that are only ever written, never read."""
@@ -91,14 +98,15 @@ class GlobalDCE(Pass):
         #: Functions that must never be removed (program entry points).
         self.roots = roots or {"main"}
 
-    def run_on_module(self, module: Module) -> bool:
-        from ..analysis import CallGraph
-
+    def run_on_module(self, module: Module,
+                      analyses: AnalysisManager = None) -> PreservedAnalyses:
+        if analyses is None:
+            analyses = AnalysisManager()
         roots = {name for name in self.roots if name in module.functions}
         if not roots:
             # Without a known entry point it is not safe to delete anything.
-            return False
-        graph = CallGraph(module)
+            return PreservedAnalyses.unchanged()
+        graph = analyses.call_graph(module)
         live = graph.reachable_from(sorted(roots))
         changed = False
         for function in list(module.functions.values()):
@@ -112,6 +120,11 @@ class GlobalDCE(Pass):
                 block.instructions = []
             function.blocks = []
             module.remove_function(function)
+            analyses.invalidate_function(function)
             self.stats.functions_removed += 1
             changed = True
-        return changed
+        if not changed:
+            return PreservedAnalyses.unchanged()
+        # Removing whole functions does not perturb the bodies of the
+        # survivors, so their analyses stay valid; the call graph does not.
+        return PreservedAnalyses.preserving(*FUNCTION_ANALYSES)

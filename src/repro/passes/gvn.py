@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis import AliasResult, DominatorTree, alias
+from ..analysis import (
+    AliasResult, AnalysisManager, DominatorTree, PreservedAnalyses, alias,
+)
 from ..ir import (
     BasicBlock, BinaryInst, CallInst, CastInst, Function, GEPInst, ICmpInst,
     Instruction, LoadInst, Opcode, PhiInst, SelectInst, StoreInst, Value,
@@ -53,13 +55,17 @@ class GlobalValueNumbering(Pass):
 
     name = "gvn"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
-        domtree = DominatorTree(function)
+            return PreservedAnalyses.unchanged()
+        domtree = analyses.dominator_tree(function)
         changed = self._number_values(function, domtree)
         changed |= self._eliminate_redundant_loads(function)
-        return changed
+        if not changed:
+            return PreservedAnalyses.unchanged()
+        # CSE erases non-terminator instructions only.
+        return PreservedAnalyses.cfg_preserving()
 
     # ------------------------------------------------------------- CSE
     def _number_values(self, function: Function, domtree: DominatorTree) -> bool:

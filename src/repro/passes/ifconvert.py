@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..analysis import underlying_object
+from ..analysis import AnalysisManager, PreservedAnalyses, underlying_object
 from ..ir import (
     AllocaInst, BasicBlock, BranchInst, CallInst, Function, GlobalVariable,
     Instruction, LoadInst, Opcode, PhiInst, SelectInst, StoreInst, Value,
@@ -97,9 +97,10 @@ class IfConversion(Pass):
         super().__init__()
         self.params = params or IfConversionParams()
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         progress = True
         while progress:
@@ -110,7 +111,9 @@ class IfConversion(Pass):
                     progress = True
                     changed = True
                     break
-        return changed
+        # Conversion deletes whole blocks and rewrites branches.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
     # ------------------------------------------------------------ patterns
     def _try_convert(self, function: Function, block: BasicBlock) -> bool:

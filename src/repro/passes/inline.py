@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis import CallGraph, LoopInfo
+from ..analysis import AnalysisManager, PreservedAnalyses
 from ..ir import (
     Argument, BasicBlock, BranchInst, CallInst, ConstantInt, Function,
     Instruction, Module, PhiInst, ReturnInst, UndefValue, Value,
@@ -41,8 +41,11 @@ def _callee_cost(callee: Function) -> int:
     return callee.instruction_count()
 
 
-def _callee_has_loops(callee: Function) -> bool:
-    return len(LoopInfo(callee).loops) > 0
+def _callee_has_loops(callee: Function, analyses: AnalysisManager) -> bool:
+    # Callees are not mutated while they are being inlined *into* other
+    # functions, so this lookup is a cache hit for every call site after
+    # the first.
+    return len(analyses.loop_info(callee).loops) > 0
 
 
 def inline_call(call: CallInst) -> bool:
@@ -157,17 +160,23 @@ class Inliner(Pass):
         super().__init__()
         self.params = params or InlineParams()
 
-    def run_on_module(self, module: Module) -> bool:
-        graph = CallGraph(module)
+    def run_on_module(self, module: Module,
+                      analyses: AnalysisManager = None) -> PreservedAnalyses:
+        if analyses is None:
+            analyses = AnalysisManager()
+        graph = analyses.call_graph(module)
         self._recursive = {
             function.name for function in module.defined_functions()
             if graph.is_recursive(function.name)}
         changed = False
         for caller in graph.bottom_up_order():
-            changed |= self._inline_into(caller, module)
-        return changed
+            changed |= self._inline_into(caller, module, analyses)
+        # Inlining rewrites callers wholesale and changes the call graph.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
-    def _inline_into(self, caller: Function, module: Module) -> bool:
+    def _inline_into(self, caller: Function, module: Module,
+                     analyses: AnalysisManager) -> bool:
         changed = False
         # Iterate until no more call sites in this caller are inlinable;
         # inlining may expose new (cloned) call sites.
@@ -183,7 +192,7 @@ class Inliner(Pass):
                     callee = inst.callee
                     if not isinstance(callee, Function) or callee.is_declaration:
                         continue
-                    if not self._should_inline(caller, callee, inst):
+                    if not self._should_inline(caller, callee, inst, analyses):
                         continue
                     if inline_call(inst):
                         self.stats.functions_inlined += 1
@@ -195,7 +204,7 @@ class Inliner(Pass):
         return changed
 
     def _should_inline(self, caller: Function, callee: Function,
-                       call: CallInst) -> bool:
+                       call: CallInst, analyses: AnalysisManager) -> bool:
         if callee is caller:
             return False
         if callee.attributes.get("no_inline"):
@@ -207,6 +216,7 @@ class Inliner(Pass):
         cost = _callee_cost(callee)
         if any(isinstance(arg, ConstantInt) for arg in call.args):
             cost -= self.params.constant_arg_bonus
-        if not self.params.allow_loops and _callee_has_loops(callee):
+        if not self.params.allow_loops and \
+                _callee_has_loops(callee, analyses):
             return False
         return cost <= self.params.threshold

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..analysis import AnalysisManager, PreservedAnalyses
 from ..ir import (
     BinaryInst, CastInst, ConstantInt, Function, ICmpInst, ICmpPredicate,
     Instruction, IntType, Opcode, PhiInst, SelectInst, Value,
@@ -209,9 +210,10 @@ class InstCombine(Pass):
 
     name = "instcombine"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         progress = True
         while progress:
@@ -227,7 +229,10 @@ class InstCombine(Pass):
                         self.stats.instructions_combined += 1
                         progress = True
                         changed = True
-        return changed
+        if not changed:
+            return PreservedAnalyses.unchanged()
+        # Peepholes rewrite value computations only, never branch targets.
+        return PreservedAnalyses.cfg_preserving()
 
     def _simplify(self, inst: Instruction) -> Optional[Value]:
         folded = fold_instruction(inst)

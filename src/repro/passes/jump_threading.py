@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import AnalysisManager, PreservedAnalyses
 from ..ir import (
     BasicBlock, BranchInst, ConstantInt, Function, ICmpInst, Instruction,
     IntType, PhiInst, Value, eval_icmp,
@@ -71,9 +72,10 @@ class JumpThreading(Pass):
 
     name = "jump-threading"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         progress = True
         while progress:
@@ -85,7 +87,9 @@ class JumpThreading(Pass):
                     progress = True
                     changed = True
                     break
-        return changed
+        # Threading redirects CFG edges.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
     def _thread_block(self, function: Function, block: BasicBlock) -> bool:
         found = _threadable_condition(block)

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import List
 
-from ..analysis import DominatorTree, Loop, LoopInfo, underlying_object
+from ..analysis import (
+    AnalysisManager, Loop, PreservedAnalyses, underlying_object,
+)
 from ..ir import (
     AllocaInst, CallInst, Function, GlobalVariable, Instruction, LoadInst,
     Opcode, PhiInst, StoreInst,
@@ -32,15 +34,22 @@ class LoopInvariantCodeMotion(Pass):
 
     name = "licm"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
-        changed = False
-        loop_info = LoopInfo(function)
+            return PreservedAnalyses.unchanged()
+        hoisted = False
+        loop_info = analyses.loop_info(function)
         # Process inner loops first so invariants bubble outward.
         for loop in sorted(loop_info.loops, key=lambda l: -l.depth):
-            changed |= self._hoist(loop)
-        return changed
+            hoisted |= self._hoist(loop)
+        # `changed` reports optimization progress (hoists) to the fixpoint
+        # driver.  Incidental mutation without progress — synthesizing a
+        # preheader for a loop where nothing was hoistable — bumps the
+        # function epoch, so stale cached analyses recompute on next lookup
+        # without forcing another pipeline iteration.
+        return PreservedAnalyses.none() if hoisted \
+            else PreservedAnalyses.unchanged()
 
     def _hoist(self, loop: Loop) -> bool:
         preheader = ensure_preheader(loop)
@@ -49,7 +58,6 @@ class LoopInvariantCodeMotion(Pass):
         terminator = preheader.terminator
         if terminator is None:
             return False
-        domtree = DominatorTree(loop.header.parent)  # type: ignore[arg-type]
         loop_writes_memory = _loop_has_stores_or_calls(loop)
         changed = False
         progress = True

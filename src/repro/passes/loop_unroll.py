@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..analysis import DominatorTree, Loop, LoopInfo, compute_trip_count
+from ..analysis import (
+    AnalysisManager, Loop, PreservedAnalyses, compute_trip_count,
+)
 from ..ir import BasicBlock, BranchInst, Function, Instruction, PhiInst
 from .loop_utils import (
     add_cloned_incoming_to_exit_phis, clone_loop, ensure_preheader,
@@ -51,27 +53,34 @@ class LoopUnrolling(Pass):
         super().__init__()
         self.params = params or UnrollParams()
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         # Re-discover loops after each successful unroll because peeling
-        # rewrites the region around the loop.
+        # rewrites the region around the loop (the epoch bump makes the
+        # manager recompute; when nothing changed, it is a cache hit).
         for _ in range(16):
-            loop_info = LoopInfo(function)
+            loop_info = analyses.loop_info(function)
             unrolled = False
             for loop in loop_info.innermost_loops():
-                if self._try_unroll(function, loop):
+                if self._try_unroll(function, loop, analyses):
                     self.stats.loops_unrolled += 1
                     changed = True
                     unrolled = True
                     break
             if not unrolled:
                 break
-        return changed
+        # `changed` reports unrolls to the fixpoint driver; side effects of
+        # abandoned attempts (preheader creation, partial LCSSA phis) bump
+        # the epoch and so invalidate cached analyses on next lookup.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
     # ------------------------------------------------------------ unrolling
-    def _try_unroll(self, function: Function, loop: Loop) -> bool:
+    def _try_unroll(self, function: Function, loop: Loop,
+                    analyses: AnalysisManager) -> bool:
         trip = compute_trip_count(loop, max_count=self.params.max_trip_count + 1)
         if trip is None or trip.count > self.params.max_trip_count:
             return False
@@ -90,7 +99,7 @@ class LoopUnrolling(Pass):
         exit_block = single_exit_block(loop)
         if exit_block is None:
             return False
-        domtree = DominatorTree(function)
+        domtree = analyses.dominator_tree(function)
         if not insert_lcssa_phis(loop, exit_block, domtree):
             return False
         for _ in range(trip.count):

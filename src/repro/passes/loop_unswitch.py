@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..analysis import DominatorTree, Loop, LoopInfo
+from ..analysis import AnalysisManager, Loop, PreservedAnalyses
 from ..ir import (
     BasicBlock, BranchInst, ConstantInt, Function, Instruction, Value,
 )
@@ -85,26 +85,35 @@ class LoopUnswitching(Pass):
         super().__init__()
         self.params = params or UnswitchParams()
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         for _ in range(self.params.max_unswitches_per_function):
-            loop_info = LoopInfo(function)
+            # Each successful unswitch bumps the function epoch, so this
+            # re-request transparently recomputes; otherwise it is a hit.
+            loop_info = analyses.loop_info(function)
             unswitched = False
             for loop in loop_info.loops:
                 if _loop_size(loop) > self.params.max_loop_size:
                     continue
-                if self._unswitch(function, loop):
+                if self._unswitch(function, loop, analyses):
                     self.stats.loops_unswitched += 1
                     changed = True
                     unswitched = True
                     break  # loop structures changed; recompute LoopInfo
             if not unswitched:
                 break
-        return changed
+        # `changed` reports unswitches to the fixpoint driver; side effects
+        # of abandoned attempts (preheader creation, condition hoisting,
+        # partial LCSSA phis) bump the epoch and so invalidate cached
+        # analyses on next lookup.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
-    def _unswitch(self, function: Function, loop: Loop) -> bool:
+    def _unswitch(self, function: Function, loop: Loop,
+                  analyses: AnalysisManager) -> bool:
         branch = _find_invariant_branch(loop)
         if branch is None or branch.true_target is branch.false_target:
             return False
@@ -127,7 +136,7 @@ class LoopUnswitching(Pass):
             preheader_term = preheader.terminator
             assert preheader_term is not None
             preheader.insert_before(preheader_term, condition)
-        domtree = DominatorTree(function)
+        domtree = analyses.dominator_tree(function)
         if isinstance(condition, Instruction):
             if condition.parent is None or \
                     not domtree.dominates(condition.parent, preheader):

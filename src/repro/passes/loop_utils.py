@@ -83,17 +83,16 @@ def loop_values_used_outside(loop: Loop) -> List[Instruction]:
 
 
 def insert_lcssa_phis(loop: Loop, exit_block: BasicBlock,
-                      domtree: Optional[DominatorTree] = None) -> bool:
+                      domtree: DominatorTree) -> bool:
     """Rewrite out-of-loop uses of loop-defined values to go through phis in
     ``exit_block`` (a restricted LCSSA construction for single-exit loops).
 
-    Returns False if some value cannot safely be rewritten (the caller should
-    then give up on the transformation).
+    The caller supplies a current dominator tree (normally from the analysis
+    manager).  Returns False if some value cannot safely be rewritten (the
+    caller should then give up on the transformation).
     """
     function = loop.header.parent
     assert function is not None
-    if domtree is None:
-        domtree = DominatorTree(function)
     in_loop_preds = [p for p in exit_block.predecessors() if loop.contains(p)]
     if not in_loop_preds:
         return False

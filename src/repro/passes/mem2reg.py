@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..analysis import DominatorTree, reachable_blocks
+from ..analysis import AnalysisManager, DominatorTree, PreservedAnalyses
 from ..ir import (
     AllocaInst, BasicBlock, Function, Instruction, IntType, LoadInst,
     PhiInst, PointerType, StoreInst, UndefValue, Value,
@@ -41,16 +41,17 @@ class PromoteMemoryToRegisters(Pass):
 
     name = "mem2reg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         allocas = [inst for inst in function.instructions()
                    if isinstance(inst, AllocaInst) and _is_promotable(inst)]
         if not allocas:
-            return False
-        domtree = DominatorTree(function)
+            return PreservedAnalyses.unchanged()
+        domtree = analyses.dominator_tree(function)
         frontier = domtree.dominance_frontier()
-        reachable = set(id(b) for b in reachable_blocks(function))
+        reachable = analyses.cfg(function).reachable_ids()
 
         phi_owner: Dict[int, AllocaInst] = {}
         for alloca in allocas:
@@ -64,7 +65,9 @@ class PromoteMemoryToRegisters(Pass):
                     user.erase_from_parent()
             alloca.erase_from_parent()
             self.stats.allocas_promoted += 1
-        return True
+        # Promotion rewrites instructions but never blocks or branch
+        # targets, so every CFG-derived analysis survives.
+        return PreservedAnalyses.cfg_preserving()
 
     # ------------------------------------------------------------ phi nodes
     def _insert_phis(self, alloca: AllocaInst, function: Function,

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..analysis import remove_unreachable_blocks
+from ..analysis import (
+    AnalysisManager, PreservedAnalyses, remove_unreachable_blocks,
+)
 from ..ir import (
     BasicBlock, BranchInst, ConstantInt, Function, PhiInst, SwitchInst,
 )
@@ -28,9 +30,10 @@ class SimplifyCFG(Pass):
 
     name = "simplifycfg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         while True:
             local = False
@@ -45,7 +48,10 @@ class SimplifyCFG(Pass):
             if not local:
                 break
             changed = True
-        return changed
+        # This pass exists to restructure the CFG: when it fires, every
+        # CFG-derived analysis for this function is stale.
+        return PreservedAnalyses.none() if changed \
+            else PreservedAnalyses.unchanged()
 
     # ------------------------------------------------------------ rewrites
     def _fold_constant_branches(self, function: Function) -> bool:

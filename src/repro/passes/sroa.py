@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import AnalysisManager, PreservedAnalyses
 from ..ir import (
     AllocaInst, ArrayType, ConstantInt, Function, GEPInst, Instruction,
     IntType, LoadInst, PointerType, StoreInst, StructType, Type,
@@ -46,14 +47,18 @@ class ScalarReplacementOfAggregates(Pass):
 
     name = "sroa"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function,
+                        analyses: AnalysisManager) -> PreservedAnalyses:
         if function.is_declaration:
-            return False
+            return PreservedAnalyses.unchanged()
         changed = False
         for inst in list(function.instructions()):
             if isinstance(inst, AllocaInst):
                 changed |= self._try_split(function, inst)
-        return changed
+        if not changed:
+            return PreservedAnalyses.unchanged()
+        # Splitting rewrites allocas/GEPs in place; the CFG is untouched.
+        return PreservedAnalyses.cfg_preserving()
 
     def _try_split(self, function: Function, alloca: AllocaInst) -> bool:
         layout = _field_layout(alloca.allocated_type)

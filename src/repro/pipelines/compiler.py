@@ -13,9 +13,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..analysis import AnalysisManagerStats
 from ..frontend import analyze, lower, parse
 from ..ir import Module, verify_module
-from ..passes import TransformStats
+from ..passes import PassRunRecord, TransformStats
 from ..vlibc import libc_source
 from .levels import OptLevel, build_pipeline
 
@@ -51,9 +52,18 @@ class CompilationResult:
     stats: TransformStats
     instruction_count: int
     source_size: int
+    #: One record per pass execution (name, changed, duration, cache
+    #: hits/misses) — the per-pass timing the harness reports.
+    pass_history: List[PassRunRecord] = field(default_factory=list)
+    #: Aggregate analysis-cache behaviour of the whole pipeline run.
+    analysis_stats: Optional[AnalysisManagerStats] = None
 
     def table3_row(self) -> Dict[str, int]:
         return self.stats.table3_row()
+
+    @property
+    def analysis_cache_hit_rate(self) -> float:
+        return self.analysis_stats.hit_rate if self.analysis_stats else 0.0
 
 
 def link_sources(program_source: str, options: CompileOptions) -> str:
@@ -106,6 +116,8 @@ def compile_source(program_source: str,
         stats=pipeline.stats,
         instruction_count=module.instruction_count(),
         source_size=len(program_source),
+        pass_history=list(pipeline.history),
+        analysis_stats=pipeline.analyses.stats,
     )
 
 

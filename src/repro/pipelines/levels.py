@@ -22,12 +22,12 @@ import enum
 from typing import List, Optional, Set
 
 from ..passes import (
-    AnnotateForVerification, ConstantPropagation, DeadCodeElimination,
-    GlobalDCE, GlobalValueNumbering, IfConversion, IfConversionParams,
-    InlineParams, Inliner, InsertRuntimeChecks, InstCombine, JumpThreading,
-    LoopInvariantCodeMotion, LoopUnrolling, LoopUnswitching, Pass,
-    PassManager, PromoteMemoryToRegisters, ScalarReplacementOfAggregates,
-    SimplifyCFG, UnrollParams, UnswitchParams,
+    AnalysisManager, AnnotateForVerification, ConstantPropagation,
+    DeadCodeElimination, GlobalDCE, GlobalValueNumbering, IfConversion,
+    IfConversionParams, InlineParams, Inliner, InsertRuntimeChecks,
+    InstCombine, JumpThreading, LoopInvariantCodeMotion, LoopUnrolling,
+    LoopUnswitching, Pass, PassManager, PromoteMemoryToRegisters,
+    ScalarReplacementOfAggregates, SimplifyCFG, UnrollParams, UnswitchParams,
 )
 
 
@@ -64,7 +64,8 @@ def _cleanup_passes() -> List[Pass]:
 
 def build_pipeline(level: OptLevel, entry_points: Optional[Set[str]] = None,
                    verify_after_each: bool = False,
-                   enable_checks: bool = True) -> PassManager:
+                   enable_checks: bool = True,
+                   analyses: Optional[AnalysisManager] = None) -> PassManager:
     """Build the pass pipeline for ``level``.
 
     Parameters
@@ -77,10 +78,15 @@ def build_pipeline(level: OptLevel, entry_points: Optional[Set[str]] = None,
     enable_checks:
         Whether -OVERIFY inserts runtime checks (Table 2's "Generate runtime
         checks" row); the ablation benchmarks toggle this.
+    analyses:
+        Analysis manager shared by every pass in the pipeline (one is
+        created when omitted); passing one in lets a driver keep analysis
+        caches warm across several pipelines over the same module.
     """
     roots = entry_points or {"main"}
     manager = PassManager(verify_after_each=verify_after_each,
-                          max_iterations=3 if level is OptLevel.OVERIFY else 2)
+                          max_iterations=3 if level is OptLevel.OVERIFY else 2,
+                          analyses=analyses)
 
     if level is OptLevel.O0:
         # -O0 only removes blocks the front end itself made unreachable

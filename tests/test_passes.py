@@ -603,13 +603,13 @@ class TestPassManager:
         class BreakingPass(SimplifyCFG):
             name = "breaker"
 
-            def run_on_function(self, function):
+            def run_on_function(self, function, analyses):
                 if not function.is_declaration and function.blocks:
                     # Remove the terminator: structurally invalid.
                     term = function.entry_block.terminator
                     if term is not None:
                         term.erase_from_parent()
-                return True
+                return True  # legacy bool return; coerced to PreservedAnalyses
 
         module = compile_to_ir("int f() { return 1; }")
         manager = PassManager(verify_after_each=True)
