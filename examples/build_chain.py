@@ -7,10 +7,12 @@ A development team keeps (at least) three configurations of the same source:
 * a release build (``-O3 -DNDEBUG``), and — the paper's proposal —
 * a verification build (``-OVERIFY``) handed to automated analysis tools.
 
-This example builds one Coreutils-like utility in all three configurations,
-shows which passes each pipeline runs and which C library it links, runs the
-release build on concrete input, and runs the verification build through the
-symbolic executor to produce bug reports and a generated test suite.
+This example builds one Coreutils-like utility in all three configurations
+through a single :class:`CompilerSession` (so the front end is parsed once
+and analyses transfer across the builds), prints each pipeline in the
+registry's textual syntax, runs the release build on concrete input, and
+runs the verification build through the symbolic-execution backend to
+produce bug reports and a generated test suite.
 
 Run with:  python examples/build_chain.py [workload-name]
 """
@@ -18,11 +20,8 @@ Run with:  python examples/build_chain.py [workload-name]
 import sys
 
 from repro.harness import format_pass_history
-from repro.interp import run_module
-from repro.pipelines import (
-    CompileOptions, OptLevel, compile_source, pipeline_description,
-)
-from repro.symex import SymexLimits, explore
+from repro.pipelines import CompilerSession, OptLevel, level_spec
+from repro.verification import VerificationRequest, make_backend
 from repro.workloads import get_workload
 
 
@@ -37,22 +36,33 @@ def main() -> None:
         "automated analysis": OptLevel.OVERIFY,
     }
 
+    session = CompilerSession()
     built = {}
     for purpose, level in configurations.items():
-        compiled = compile_source(workload.source, CompileOptions(level=level))
+        compiled = session.compile(workload.source, level=level)
         built[purpose] = compiled
-        passes = pipeline_description(level)
+        passes = [str(p) for p in level_spec(level)]
         libc = "verification libC" if level is OptLevel.OVERIFY \
             else "execution libC"
         print(f"[{purpose:>18}] {level}  ({len(passes)} passes, links {libc})")
-        print(f"{'':>21}passes: {', '.join(passes[:8])}"
-              f"{' ...' if len(passes) > 8 else ''}")
+        print(f"{'':>21}passes: {','.join(passes[:6])}"
+              f"{',...' if len(passes) > 6 else ''}")
         print(f"{'':>21}static instructions: {compiled.instruction_count}")
         if compiled.analysis_stats is not None:
             cache = compiled.analysis_stats
             print(f"{'':>21}analysis cache: {cache.hits} hits / "
                   f"{cache.misses} misses "
-                  f"({cache.hit_rate:.0%} hit rate)")
+                  f"({cache.hit_rate:.0%} hit rate, "
+                  f"{cache.transfers} transferred from siblings)")
+    print()
+
+    print("The -OVERIFY pipeline as a textual spec (parse_pipeline accepts "
+          "this back):")
+    print(f"  {built['automated analysis'].pipeline_text}\n")
+
+    print("What the session shared across the three builds:")
+    for key, value in session.stats.as_dict().items():
+        print(f"  {key:<22}{value}")
     print()
 
     print("Per-pass timing of the verification pipeline (cached analyses):")
@@ -61,19 +71,24 @@ def main() -> None:
                               title="-OVERIFY pipeline (first 12 pass runs)"))
     print()
 
+    request = VerificationRequest(
+        symbolic_input_bytes=4,
+        concrete_input=b"vXhello worldX\n",
+        timeout_seconds=60.0,
+    )
+
     print("Running the release build on concrete input "
           "(what end users execute):")
-    release = built["release"]
-    result = run_module(release.module, b"vXhello worldX\n")
-    print(f"  exit value: {result.return_value}, "
-          f"{result.stats.instructions_executed} instructions executed\n")
+    release = make_backend("interp").verify(built["release"].module, request)
+    print(f"  exit value: {release.return_value}, "
+          f"{release.instructions} instructions executed\n")
 
-    print("Running the verification build through the symbolic executor "
+    print("Running the verification build through the symex backend "
           "(what the analysis bot does on every commit):")
-    analysis = built["automated analysis"]
-    report = explore(analysis.module, 4,
-                     limits=SymexLimits(timeout_seconds=60))
-    print(f"  explored paths : {report.stats.total_paths}")
+    outcome = make_backend("symex").verify(built["automated analysis"].module,
+                                           request)
+    report = outcome.detail
+    print(f"  explored paths : {outcome.paths}")
     print(f"  detected bugs  : {len(report.bugs)}")
     for bug in report.bugs:
         print(f"    - {bug.kind.value} in @{bug.function} "

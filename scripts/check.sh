@@ -12,29 +12,35 @@ python -m pytest -x -q
 echo
 echo "== IR invariants: verify-after-each-pass compile of every workload =="
 python - <<'PY'
-from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.pipelines import CompilerSession, CompileOptions, OptLevel
 from repro.workloads import all_workloads
 
 levels = [OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3,
           OptLevel.OVERIFY]
-hits = misses = 0
+hits = misses = transfers = 0
 for workload in all_workloads():
+    # One session per workload: exercises the cross-level analysis
+    # transfer with the IR verifier running after every pass.
+    session = CompilerSession()
     for level in levels:
-        result = compile_source(
+        session.compile(
             workload.source,
             CompileOptions(level=level, verify_after_each_pass=True))
-        stats = result.analysis_stats
-        hits += stats.hits
-        misses += stats.misses
+    stats = session.analysis_stats
+    hits += stats.hits
+    misses += stats.misses
+    transfers += stats.transfers
 total = hits + misses
 rate = hits / total if total else 0.0
 print(f"verified {len(all_workloads())} workloads x {len(levels)} levels; "
-      f"analysis cache: {hits} hits / {misses} misses ({rate:.0%})")
+      f"analysis cache: {hits} hits / {misses} misses ({rate:.0%}), "
+      f"{transfers} transferred across levels")
 PY
 
 echo
-echo "== benchmark smoke (compile-side pipeline, no timing rounds) =="
-python -m pytest benchmarks/test_pipeline_compile_bench.py -q --benchmark-disable
+echo "== benchmark smoke (compile-side pipeline + session sweep, no timing rounds) =="
+python -m pytest benchmarks/test_pipeline_compile_bench.py \
+    benchmarks/test_session_bench.py -q --benchmark-disable
 
 echo
 echo "check.sh: all gates passed"

@@ -6,8 +6,11 @@ The package provides:
 * ``repro.ir`` — an LLVM-like SSA intermediate representation,
 * ``repro.frontend`` — the MiniC front end,
 * ``repro.analysis`` — CFG/dominator/loop/alias/call-graph analyses,
-* ``repro.passes`` — the optimization passes and pass manager,
-* ``repro.pipelines`` — the ``-O0``/``-O2``/``-O3``/``-OVERIFY`` pipelines,
+* ``repro.passes`` — the optimization passes, pass manager, and the pass
+  registry with its textual pipeline syntax (``parse_pipeline``),
+* ``repro.pipelines`` — the ``-O0``/``-O2``/``-O3``/``-OVERIFY`` pipelines
+  as textual specs, plus the ``CompilerSession`` stateful driver,
+* ``repro.verification`` — the verification-backend protocol and registry,
 * ``repro.interp`` — a concrete IR interpreter,
 * ``repro.symex`` — a KLEE-style symbolic execution engine,
 * ``repro.vlibc`` — the verification-optimized C library,

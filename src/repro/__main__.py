@@ -1,0 +1,222 @@
+"""The ``python -m repro`` command-line driver.
+
+Compile a registered workload (or a MiniC source file) at a named
+optimization level or through a raw ``--passes`` pipeline string, print the
+pipeline and compile statistics, and optionally hand the result to a
+verification backend and/or run it concretely:
+
+    python -m repro wc                               # -OVERIFY build
+    python -m repro wc --level O3 --run
+    python -m repro wc --passes "simplifycfg,mem2reg,inline<threshold=5000,loops>,gvn"
+    python -m repro grep --verify --backend "symex<searcher=bfs>"
+    python -m repro --list-passes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .frontend import CompileError, analyze, lower, parse as parse_minic
+from .ir import verify_module
+from .passes import (
+    PipelineSyntaxError, format_pipeline, parse_pipeline, registered_passes,
+)
+from .pipelines import (
+    CompileOptions, CompilerSession, LEVEL_PIPELINES, OptLevel,
+    build_pipeline_from_spec, level_spec_string, link_sources,
+    parse_opt_level,
+)
+from .verification import (
+    BackendSpecError, VerificationRequest, backend_names, make_backend,
+)
+from .workloads import all_workloads, get_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compile (and optionally verify) a workload with the "
+                    "-OVERIFY reproduction compiler.")
+    parser.add_argument("workload", nargs="?",
+                        help="registered workload name (see --list-workloads)")
+    parser.add_argument("--source", metavar="FILE",
+                        help="compile a MiniC source file instead of a "
+                             "registered workload")
+    parser.add_argument("--level", default="-OVERIFY",
+                        help="optimization level: O0/O1/O2/O3/OVERIFY "
+                             "(write --level=-O2 for the dashed spelling; "
+                             "default -OVERIFY)")
+    parser.add_argument("--passes", metavar="PIPELINE",
+                        help="raw pipeline string overriding --level, e.g. "
+                             "'simplifycfg,mem2reg,gvn'")
+    parser.add_argument("--no-checks", action="store_true",
+                        help="disable -OVERIFY runtime-check insertion")
+    parser.add_argument("--show-pipeline", action="store_true",
+                        help="only print the pipeline string and exit")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the verification backend on the build")
+    parser.add_argument("--run", action="store_true",
+                        help="run the build concretely on the workload's "
+                             "sample input")
+    parser.add_argument("--backend", default="symex",
+                        help="verification backend spec (default 'symex'; "
+                             "e.g. 'symex<searcher=bfs>')")
+    parser.add_argument("--input-bytes", type=int, default=None,
+                        help="symbolic input size for --verify (default: "
+                             "the workload's suggested size)")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="verification budget in seconds (default 60)")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="list registered workloads and exit")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--list-levels", action="store_true",
+                        help="print every level's pipeline string and exit")
+    return parser
+
+
+def _list_workloads() -> int:
+    for workload in all_workloads():
+        print(f"{workload.name:<12} [{workload.category}] "
+              f"{workload.description}")
+    return 0
+
+
+def _list_passes() -> int:
+    for info in registered_passes():
+        params = ", ".join(p.key for p in info.params)
+        suffix = f"  <{params}>" if params else ""
+        print(f"{info.name:<16} {info.description}{suffix}")
+    return 0
+
+
+def _list_levels() -> int:
+    for level, pipeline in LEVEL_PIPELINES.items():
+        print(f"{level}:\n  {pipeline}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_workloads:
+        return _list_workloads()
+    if args.list_passes:
+        return _list_passes()
+    if args.list_levels:
+        return _list_levels()
+
+    try:
+        level = parse_opt_level(args.level)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.source:
+        try:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            parser.error(f"cannot read {args.source}: {exc}")
+        name = args.source
+        input_bytes = args.input_bytes if args.input_bytes is not None else 4
+        sample_input = b"the quick brown fox"
+    elif args.workload:
+        try:
+            workload = get_workload(args.workload)
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+        source, name = workload.source, workload.name
+        input_bytes = args.input_bytes if args.input_bytes is not None \
+            else workload.default_input_bytes
+        sample_input = workload.sample_input
+    else:
+        parser.error("name a workload or pass --source FILE "
+                     "(--list-workloads shows what is registered)")
+
+    options = CompileOptions(level=level,
+                             enable_runtime_checks=not args.no_checks)
+
+    try:
+        if args.passes is not None:
+            spec = parse_pipeline(args.passes)
+            if args.show_pipeline:
+                print(format_pipeline(spec))
+                return 0
+            start = time.perf_counter()
+            full_source = link_sources(source, options)
+            unit = parse_minic(full_source)
+            analyze(unit)
+            module = lower(unit, name)
+            pipeline = build_pipeline_from_spec(spec)
+            pipeline.run_until_fixpoint(module)
+            verify_module(module)
+            elapsed = time.perf_counter() - start
+            pipeline_text = format_pipeline(spec)
+            instruction_count = module.instruction_count()
+            analysis_stats = pipeline.analyses.stats
+        else:
+            if args.show_pipeline:
+                print(level_spec_string(level))
+                return 0
+            session = CompilerSession()
+            result = session.compile(source, options)
+            module = result.module
+            elapsed = result.compile_seconds
+            pipeline_text = result.pipeline_text
+            instruction_count = result.instruction_count
+            analysis_stats = result.analysis_stats
+    except (CompileError, PipelineSyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"workload : {name}")
+    print(f"level    : {level if args.passes is None else '(raw --passes)'}")
+    print(f"pipeline : {pipeline_text}")
+    print(f"compiled : {instruction_count} instructions "
+          f"in {elapsed:.3f}s")
+    if analysis_stats is not None:
+        print(f"analysis : {analysis_stats.hits} hits / "
+              f"{analysis_stats.misses} misses "
+              f"({analysis_stats.hit_rate:.0%} hit rate, "
+              f"{analysis_stats.transfers} transferred)")
+
+    request = VerificationRequest(symbolic_input_bytes=input_bytes,
+                                  concrete_input=sample_input,
+                                  timeout_seconds=args.timeout)
+
+    if args.verify:
+        try:
+            backend = make_backend(args.backend)
+        except BackendSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(f"known backends: {', '.join(backend_names())}",
+                  file=sys.stderr)
+            return 1
+        outcome = backend.verify(module, request)
+        print(f"verify   : {outcome.backend}: {outcome.paths} paths, "
+              f"{outcome.errors} errors, "
+              f"{outcome.instructions} instructions "
+              f"in {outcome.seconds:.3f}s"
+              f"{' (timed out)' if outcome.timed_out else ''}")
+        for signature in sorted(outcome.bug_signatures):
+            print(f"  bug    : {', '.join(signature)}")
+
+    if args.run:
+        outcome = make_backend("interp").verify(module, request)
+        print(f"run      : returned {outcome.return_value}, "
+              f"{outcome.instructions} instructions "
+              f"in {outcome.seconds:.3f}s"
+              f"{' (crashed)' if outcome.errors else ''}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro --list-passes | head`
+        sys.exit(0)

@@ -21,7 +21,7 @@ from .manager import (
     ALL_ANALYSES, CALLGRAPH_ANALYSIS, CFG_ANALYSIS, CFG_DERIVED,
     DOMTREE_ANALYSIS, FUNCTION_ANALYSES, LOOPS_ANALYSIS, MODULE_ANALYSES,
     RANGES_ANALYSIS, AnalysisManager, AnalysisManagerStats,
-    PreservedAnalyses,
+    AnalysisTransferSource, PreservedAnalyses,
 )
 
 __all__ = [
@@ -37,7 +37,8 @@ __all__ = [
     "FunctionMetrics", "ModuleMetrics", "function_metrics", "module_metrics",
     "verification_cost_estimate",
     "Interval", "ValueRangeAnalysis", "full_range",
-    "AnalysisManager", "AnalysisManagerStats", "PreservedAnalyses",
+    "AnalysisManager", "AnalysisManagerStats", "AnalysisTransferSource",
+    "PreservedAnalyses",
     "ALL_ANALYSES", "FUNCTION_ANALYSES", "MODULE_ANALYSES", "CFG_DERIVED",
     "CFG_ANALYSIS", "DOMTREE_ANALYSIS", "LOOPS_ANALYSIS", "RANGES_ANALYSIS",
     "CALLGRAPH_ANALYSIS",

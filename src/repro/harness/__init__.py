@@ -6,7 +6,10 @@
 * ``python -m repro.harness.figure4`` — Figure 4 (per-program sweep)
 """
 
-from .experiment import ExperimentConfig, ExperimentResult, run_experiment, run_level_sweep
+from .experiment import (
+    ExperimentConfig, ExperimentResult, run_experiment, run_level_sweep,
+    verification_request,
+)
 from .report import format_bar_chart, format_pass_history, format_table
 from .table1 import Table1, TABLE1_LEVELS, reproduce_table1
 from .table2 import AblationRow, AblationVariant, reproduce_table2, render_table2
@@ -14,7 +17,8 @@ from .table3 import Table3, TABLE3_LEVELS, reproduce_table3
 from .figure4 import Figure4, FIGURE4_LEVELS, ProgramOutcome, reproduce_figure4
 
 __all__ = [
-    "ExperimentConfig", "ExperimentResult", "run_experiment", "run_level_sweep",
+    "ExperimentConfig", "ExperimentResult", "run_experiment",
+    "run_level_sweep", "verification_request",
     "format_bar_chart", "format_pass_history", "format_table",
     "Table1", "TABLE1_LEVELS", "reproduce_table1",
     "AblationRow", "AblationVariant", "reproduce_table2", "render_table2",

@@ -1,20 +1,27 @@
 """Shared experiment runner.
 
 One "experiment" is: compile a workload at an optimization level, then (a)
-exhaustively symbolically execute it over a bounded symbolic input and (b)
-concretely run it on a sample input.  These are the measurements all of the
-paper's tables and figures are built from.
+exhaustively verify it with the configured verification backend over a
+bounded symbolic input and (b) concretely run it on a sample input.  These
+are the measurements all of the paper's tables and figures are built from.
+
+Compilation goes through a :class:`~repro.pipelines.CompilerSession` (one
+per workload, shared across the levels of a sweep) and both measurement
+phases go through the :class:`~repro.verification.VerificationBackend`
+protocol — the verify phase via the configurable backend spec (default
+``symex``, searcher selectable by name), the run phase via ``interp``.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
 
-from ..interp import Interpreter, run_module
-from ..pipelines import CompilationResult, CompileOptions, OptLevel, compile_source
-from ..symex import SymexLimits, SymexReport, explore
+from ..pipelines import (
+    CompilationResult, CompileOptions, CompilerSession, OptLevel,
+    compile_source,
+)
+from ..verification import VerificationRequest, make_backend
 
 
 @dataclass
@@ -30,6 +37,11 @@ class ExperimentConfig:
     max_instructions: int = 5_000_000
     enable_runtime_checks: bool = True
     verification_libc: Optional[bool] = None
+    #: Verification backend spec (``symex``, ``symex<searcher=bfs>``, ...).
+    backend: str = "symex"
+    #: Search strategy for path-exploring backends (``dfs``/``bfs``/
+    #: ``random``); a searcher named in ``backend`` wins over this.
+    searcher: str = "dfs"
 
 
 @dataclass
@@ -50,6 +62,8 @@ class ExperimentResult:
     transform_stats: Dict[str, int] = field(default_factory=dict)
     bug_signatures: frozenset = frozenset()
     return_value: Optional[int] = None
+    #: Canonical spec of the backend that produced the verify phase.
+    verify_backend: str = "symex"
 
     @property
     def total_seconds(self) -> float:
@@ -57,59 +71,64 @@ class ExperimentResult:
         return self.compile_seconds + self.verify_seconds
 
 
-def run_experiment(name: str, source: str,
-                   config: ExperimentConfig) -> ExperimentResult:
+def verification_request(config: ExperimentConfig) -> VerificationRequest:
+    """The backend request corresponding to an experiment config."""
+    return VerificationRequest(
+        symbolic_input_bytes=config.symbolic_input_bytes,
+        concrete_input=config.concrete_input,
+        timeout_seconds=config.timeout_seconds,
+        max_instructions=config.max_instructions,
+    )
+
+
+def run_experiment(name: str, source: str, config: ExperimentConfig,
+                   session: Optional[CompilerSession] = None
+                   ) -> ExperimentResult:
     """Compile ``source`` at ``config.level`` and measure verification and
-    execution cost."""
+    execution cost.  Pass a session to share front-end work and analysis
+    caches with other experiments on the same workload."""
     options = CompileOptions(
         level=config.level,
         enable_runtime_checks=config.enable_runtime_checks,
         verification_libc=config.verification_libc,
     )
-    compiled = compile_source(source, options)
+    compiled: CompilationResult = compile_source(source, options,
+                                                 session=session)
 
-    limits = SymexLimits(timeout_seconds=config.timeout_seconds,
-                         max_instructions=config.max_instructions)
-    verify_start = time.perf_counter()
-    report = explore(compiled.module, config.symbolic_input_bytes,
-                     limits=limits)
-    verify_seconds = time.perf_counter() - verify_start
-
-    run_start = time.perf_counter()
-    concrete = run_module(compiled.module, config.concrete_input)
-    run_seconds = time.perf_counter() - run_start
+    request = verification_request(config)
+    verifier = make_backend(config.backend, searcher=config.searcher)
+    verified = verifier.verify(compiled.module, request)
+    concrete = make_backend("interp").verify(compiled.module, request)
 
     return ExperimentResult(
         workload=name,
         level=config.level,
         compile_seconds=compiled.compile_seconds,
-        verify_seconds=verify_seconds,
-        run_seconds=run_seconds,
+        verify_seconds=verified.seconds,
+        run_seconds=concrete.seconds,
         static_instructions=compiled.instruction_count,
-        interpreted_instructions=report.stats.instructions_interpreted,
-        concrete_instructions=concrete.stats.instructions_executed,
-        paths=report.stats.total_paths,
-        errors=report.stats.paths_errored,
-        timed_out=report.stats.timed_out,
+        interpreted_instructions=verified.instructions,
+        concrete_instructions=concrete.instructions,
+        paths=verified.paths,
+        errors=verified.errors,
+        timed_out=verified.timed_out,
         transform_stats=compiled.stats.as_dict(),
-        bug_signatures=frozenset(report.bug_signatures()),
+        bug_signatures=verified.bug_signatures,
         return_value=concrete.return_value,
+        verify_backend=verified.backend,
     )
 
 
 def run_level_sweep(name: str, source: str, levels: Sequence[OptLevel],
-                    base_config: ExperimentConfig) -> Dict[OptLevel, ExperimentResult]:
-    """Run the same workload at several optimization levels."""
+                    base_config: ExperimentConfig,
+                    session: Optional[CompilerSession] = None
+                    ) -> Dict[OptLevel, ExperimentResult]:
+    """Run the same workload at several optimization levels through one
+    shared compiler session."""
+    session = session or CompilerSession()
     results: Dict[OptLevel, ExperimentResult] = {}
     for level in levels:
-        config = ExperimentConfig(
-            level=level,
-            symbolic_input_bytes=base_config.symbolic_input_bytes,
-            concrete_input=base_config.concrete_input,
-            timeout_seconds=base_config.timeout_seconds,
-            max_instructions=base_config.max_instructions,
-            enable_runtime_checks=base_config.enable_runtime_checks,
-            verification_libc=base_config.verification_libc,
-        )
-        results[level] = run_experiment(name, source, config)
+        config = replace(base_config, level=level)
+        results[level] = run_experiment(name, source, config,
+                                        session=session)
     return results

@@ -15,21 +15,11 @@ Run with ``python -m repro.harness.table2``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
-from ..interp import run_module
-from ..passes import (
-    AnnotateForVerification, ConstantPropagation, DeadCodeElimination,
-    GlobalDCE, GlobalValueNumbering, IfConversion, IfConversionParams,
-    InlineParams, Inliner, InsertRuntimeChecks, InstCombine, JumpThreading,
-    LoopInvariantCodeMotion, LoopUnrolling, LoopUnswitching, PassManager,
-    PromoteMemoryToRegisters, ScalarReplacementOfAggregates, SimplifyCFG,
-    UnrollParams, UnswitchParams,
-)
-from ..pipelines import CompileOptions, OptLevel, compile_source
-from ..symex import SymexLimits, explore
+from ..pipelines import CompilerSession, CompileOptions, OptLevel
+from ..verification import VerificationRequest, make_backend
 from ..workloads import WC_PROGRAM
 from .report import format_table
 
@@ -89,29 +79,33 @@ def ablation_variants() -> List[AblationVariant]:
 
 
 def measure_variant(variant: AblationVariant, symbolic_input_bytes: int,
-                    timeout_seconds: float,
-                    concrete_input: bytes) -> AblationRow:
-    compiled = compile_source(WC_PROGRAM, variant.options)
-    start = time.perf_counter()
-    report = explore(compiled.module, symbolic_input_bytes,
-                     limits=SymexLimits(timeout_seconds=timeout_seconds))
-    verify_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    run_module(compiled.module, concrete_input)
-    run_seconds = time.perf_counter() - start
-    return AblationRow(name=variant.name, verify_seconds=verify_seconds,
-                       run_seconds=run_seconds,
-                       paths=report.stats.total_paths)
+                    timeout_seconds: float, concrete_input: bytes,
+                    session: Optional[CompilerSession] = None) -> AblationRow:
+    session = session or CompilerSession()
+    compiled = session.compile(WC_PROGRAM, variant.options)
+    request = VerificationRequest(symbolic_input_bytes=symbolic_input_bytes,
+                                  concrete_input=concrete_input,
+                                  timeout_seconds=timeout_seconds)
+    verified = make_backend("symex").verify(compiled.module, request)
+    concrete = make_backend("interp").verify(compiled.module, request)
+    return AblationRow(name=variant.name,
+                       verify_seconds=verified.seconds,
+                       run_seconds=concrete.seconds,
+                       paths=verified.paths)
 
 
 def reproduce_table2(symbolic_input_bytes: int = 4,
                      timeout_seconds: float = 60.0,
                      concrete_input: bytes = b"some words to count here"
                      ) -> List[AblationRow]:
+    # All variants compile the same wc source, so one session shares the
+    # front end and translated analyses across the whole ablation.
+    session = CompilerSession()
     rows = []
     for variant in ablation_variants():
         rows.append(measure_variant(variant, symbolic_input_bytes,
-                                    timeout_seconds, concrete_input))
+                                    timeout_seconds, concrete_input,
+                                    session=session))
     return rows
 
 

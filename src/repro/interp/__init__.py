@@ -5,9 +5,11 @@ from .memory import Memory, MemoryObject, NULL_GUARD_SIZE
 from .interpreter import (
     ExecutionResult, ExecutionStats, Interpreter, run_module,
 )
+from .backend import InterpBackend
 
 __all__ = [
     "ErrorKind", "ProgramError",
     "Memory", "MemoryObject", "NULL_GUARD_SIZE",
     "ExecutionResult", "ExecutionStats", "Interpreter", "run_module",
+    "InterpBackend",
 ]

@@ -2,6 +2,12 @@
 
 from ..analysis import AnalysisManager, PreservedAnalyses
 from .pass_manager import Pass, PassManager, PassRunRecord, TransformStats
+from .registry import (
+    PassInfo, PassParam, PassSpec, PipelineSpec, PipelineSyntaxError,
+    build_pass, build_passes, format_pass, format_pipeline, make_pass_spec,
+    parse_pass, parse_pipeline, pass_info, pass_names, register_pass,
+    registered_passes,
+)
 from .mem2reg import PromoteMemoryToRegisters
 from .sroa import ScalarReplacementOfAggregates
 from .constprop import ConstantPropagation, fold_instruction
@@ -24,6 +30,11 @@ from .loop_utils import (
 __all__ = [
     "AnalysisManager", "PreservedAnalyses",
     "Pass", "PassManager", "PassRunRecord", "TransformStats",
+    "PassInfo", "PassParam", "PassSpec", "PipelineSpec",
+    "PipelineSyntaxError",
+    "build_pass", "build_passes", "format_pass", "format_pipeline",
+    "make_pass_spec", "parse_pass", "parse_pipeline", "pass_info",
+    "pass_names", "register_pass", "registered_passes",
     "PromoteMemoryToRegisters",
     "ScalarReplacementOfAggregates",
     "ConstantPropagation", "fold_instruction",

@@ -80,3 +80,10 @@ class AnnotateForVerification(Pass):
         # untouched, so every analysis remains valid (and re-running this
         # pass is a pure cache hit).
         return PreservedAnalyses.all(changed=changed)
+
+
+from .registry import register_pass
+
+register_pass(
+    "annotate", AnnotateForVerification,
+    description="attach verification metadata (trip counts, value ranges)")

@@ -107,3 +107,10 @@ class InsertRuntimeChecks(Pass):
                             function.next_name("check.ok"))
         block.append_instruction(is_valid)
         block.append_instruction(BranchInst(continuation, is_valid, fail_block))
+
+
+from .registry import register_pass
+
+register_pass(
+    "runtime-checks", InsertRuntimeChecks,
+    description="insert runtime checks so every failure becomes a crash")

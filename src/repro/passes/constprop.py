@@ -102,3 +102,10 @@ class ConstantPropagation(Pass):
         # Folding never rewrites terminators (SimplifyCFG folds constant
         # branches), so the CFG-derived analyses stay valid.
         return PreservedAnalyses.cfg_preserving()
+
+
+from .registry import register_pass
+
+register_pass(
+    "constprop", ConstantPropagation,
+    description="fold instructions with constant operands")

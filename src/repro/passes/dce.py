@@ -128,3 +128,14 @@ class GlobalDCE(Pass):
         # Removing whole functions does not perturb the bodies of the
         # survivors, so their analyses stay valid; the call graph does not.
         return PreservedAnalyses.preserving(*FUNCTION_ANALYSES)
+
+
+from .registry import names_param, register_pass
+
+register_pass(
+    "dce", DeadCodeElimination,
+    description="delete instructions whose results are unused")
+register_pass(
+    "globaldce", lambda roots=None: GlobalDCE(roots),
+    params=[names_param("roots", "roots", ("main",))],
+    description="delete functions unreachable from the root set")

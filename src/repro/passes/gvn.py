@@ -143,3 +143,10 @@ class GlobalValueNumbering(Pass):
                 elif isinstance(inst, CallInst):
                     known.clear()
         return changed
+
+
+from .registry import register_pass
+
+register_pass(
+    "gvn", GlobalValueNumbering,
+    description="eliminate redundant computations by value numbering")

@@ -233,3 +233,14 @@ class IfConversion(Pass):
         block.instructions = []
         if function is not None:
             function.remove_block(block)
+
+
+from .registry import flag_param, int_param, register_pass
+
+register_pass(
+    "ifconvert", lambda **params: IfConversion(IfConversionParams(**params)),
+    params=[
+        int_param("spec", "max_speculated_instructions", IfConversionParams),
+        flag_param("safe-loads", "speculate_safe_loads", IfConversionParams),
+    ],
+    description="convert diamonds/triangles into branch-free selects")

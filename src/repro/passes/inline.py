@@ -220,3 +220,16 @@ class Inliner(Pass):
                 _callee_has_loops(callee, analyses):
             return False
         return cost <= self.params.threshold
+
+
+from .registry import flag_param, int_param, register_pass
+
+register_pass(
+    "inline", lambda **params: Inliner(InlineParams(**params)),
+    params=[
+        int_param("threshold", "threshold", InlineParams),
+        flag_param("loops", "allow_loops", InlineParams),
+        int_param("const-bonus", "constant_arg_bonus", InlineParams),
+        int_param("caller-cap", "caller_size_cap", InlineParams),
+    ],
+    description="inline direct calls below the cost threshold")

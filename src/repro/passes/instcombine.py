@@ -247,3 +247,10 @@ class InstCombine(Pass):
         if isinstance(inst, SelectInst):
             return _simplify_select(inst)
         return None
+
+
+from .registry import register_pass
+
+register_pass(
+    "instcombine", InstCombine,
+    description="peephole-combine instruction patterns")

@@ -155,3 +155,10 @@ class JumpThreading(Pass):
         if not isinstance(ty, IntType):
             return None
         return eval_icmp(icmp.predicate, ty, value.value, rhs.value)
+
+
+from .registry import register_pass
+
+register_pass(
+    "jump-threading", JumpThreading,
+    description="thread branches over blocks with statically known exits")

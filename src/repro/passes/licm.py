@@ -107,3 +107,10 @@ class LoopInvariantCodeMotion(Pass):
                 return False
             return True
         return all(loop.is_invariant(op) for op in inst.operands)
+
+
+from .registry import register_pass
+
+register_pass(
+    "licm", LoopInvariantCodeMotion,
+    description="hoist loop-invariant computations into the preheader")

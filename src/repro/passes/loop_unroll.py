@@ -175,3 +175,14 @@ class LoopUnrolling(Pass):
         # 4. The peeled copy's header phis now have a single incoming value;
         #    SimplifyCFG will fold them.  Nothing else to do.
         return True
+
+
+from .registry import int_param, register_pass
+
+register_pass(
+    "loop-unroll", lambda **params: LoopUnrolling(UnrollParams(**params)),
+    params=[
+        int_param("trips", "max_trip_count", UnrollParams),
+        int_param("size", "max_unrolled_size", UnrollParams),
+    ],
+    description="fully unroll small counted loops")

@@ -178,3 +178,14 @@ class LoopUnswitching(Pass):
         # cloned header phis already reference the preheader as well (the
         # preheader is outside the loop, so cloning left it in place).
         return True
+
+
+from .registry import int_param, register_pass
+
+register_pass(
+    "loop-unswitch", lambda **params: LoopUnswitching(UnswitchParams(**params)),
+    params=[
+        int_param("size", "max_loop_size", UnswitchParams),
+        int_param("max", "max_unswitches_per_function", UnswitchParams),
+    ],
+    description="hoist invariant conditions out of loops by duplication")

@@ -136,3 +136,10 @@ class PromoteMemoryToRegisters(Pass):
 
         if function.blocks:
             visit(function.entry_block)
+
+
+from .registry import register_pass
+
+register_pass(
+    "mem2reg", PromoteMemoryToRegisters,
+    description="promote stack slots to SSA registers")

@@ -157,6 +157,9 @@ class PassManager:
         self.analyses = analyses or AnalysisManager()
         self.stats = TransformStats()
         self.history: List[PassRunRecord] = []
+        #: The :class:`~repro.passes.registry.PipelineSpec` this manager was
+        #: built from, when it came from the registry-driven builders.
+        self.spec = None
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)

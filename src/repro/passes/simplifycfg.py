@@ -206,3 +206,10 @@ class SimplifyCFG(Pass):
                     phi.remove_incoming(block)
                 changed = True
         return changed
+
+
+from .registry import register_pass
+
+register_pass(
+    "simplifycfg", SimplifyCFG,
+    description="remove unreachable blocks, merge and thread trivial blocks")

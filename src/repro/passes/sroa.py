@@ -109,3 +109,10 @@ class ScalarReplacementOfAggregates(Pass):
         alloca.erase_from_parent()
         self.stats.aggregates_split += 1
         return True
+
+
+from .registry import register_pass
+
+register_pass(
+    "sroa", ScalarReplacementOfAggregates,
+    description="split aggregates into scalar allocas")

@@ -5,20 +5,24 @@ paper's Figure 3 build chain: the same source can be built in a debug
 configuration (``-O0``), a release configuration (``-O3``) or a verification
 configuration (``-OVERIFY``), and the -OVERIFY configuration additionally
 links the verification-optimized C library.
+
+Since the session redesign, :func:`compile_source` and
+:func:`compile_at_all_levels` are thin wrappers over
+:class:`repro.pipelines.session.CompilerSession` — a one-shot session for a
+single compile, a shared one for a level sweep (which is what lets the sweep
+reuse front-end work and translated analyses).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..analysis import AnalysisManagerStats
-from ..frontend import analyze, lower, parse
-from ..ir import Module, verify_module
+from ..ir import Module
 from ..passes import PassRunRecord, TransformStats
 from ..vlibc import libc_source
-from .levels import OptLevel, build_pipeline
+from .levels import OptLevel
 
 
 @dataclass
@@ -57,6 +61,8 @@ class CompilationResult:
     pass_history: List[PassRunRecord] = field(default_factory=list)
     #: Aggregate analysis-cache behaviour of the whole pipeline run.
     analysis_stats: Optional[AnalysisManagerStats] = None
+    #: The pipeline that ran, in the registry's textual syntax.
+    pipeline_text: str = ""
 
     def table3_row(self) -> Dict[str, int]:
         return self.stats.table3_row()
@@ -82,52 +88,40 @@ def link_sources(program_source: str, options: CompileOptions) -> str:
 
 def compile_source(program_source: str,
                    options: Optional[CompileOptions] = None,
-                   level: Optional[OptLevel] = None) -> CompilationResult:
+                   level: Optional[OptLevel] = None,
+                   session: Optional["CompilerSession"] = None
+                   ) -> CompilationResult:
     """Compile MiniC ``program_source`` at the requested optimization level.
 
     ``level`` is a convenience shortcut; when both ``options`` and ``level``
-    are given, ``level`` wins.
+    are given, ``level`` wins (the caller's ``options`` object is never
+    mutated).  Pass a :class:`~repro.pipelines.session.CompilerSession` to
+    share front-end work and analysis caches across calls; without one, a
+    one-shot session is used.
     """
-    options = options or CompileOptions()
-    if level is not None:
-        options.level = level
+    from .session import CompilerSession
 
-    start = time.perf_counter()
-    full_source = link_sources(program_source, options)
-    unit = parse(full_source)
-    analyze(unit)
-    module = lower(unit, options.module_name)
-    module.metadata["opt_level"] = str(options.level)
-
-    pipeline = build_pipeline(
-        options.level,
-        entry_points=options.entry_points,
-        verify_after_each=options.verify_after_each_pass,
-        enable_checks=options.enable_runtime_checks,
-    )
-    pipeline.run_until_fixpoint(module)
-    verify_module(module)
-    elapsed = time.perf_counter() - start
-
-    return CompilationResult(
-        module=module,
-        level=options.level,
-        compile_seconds=elapsed,
-        stats=pipeline.stats,
-        instruction_count=module.instruction_count(),
-        source_size=len(program_source),
-        pass_history=list(pipeline.history),
-        analysis_stats=pipeline.analyses.stats,
-    )
+    driver = session or CompilerSession()
+    return driver.compile(program_source, options=options, level=level)
 
 
 def compile_at_all_levels(program_source: str,
                           levels: Optional[List[OptLevel]] = None,
+                          session: Optional["CompilerSession"] = None,
                           **option_kwargs) -> Dict[OptLevel, CompilationResult]:
-    """Compile the same source at several levels (the shape of Table 1/3)."""
-    levels = levels or [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
+    """Compile the same source at several levels (the shape of Table 1/3).
+
+    All levels run through one shared session, so the source is parsed once
+    and CFG-shaped analyses of the freshly lowered modules are translated
+    across levels instead of recomputed.
+    """
+    from .session import CompilerSession
+
+    levels = levels or [OptLevel.O0, OptLevel.O2, OptLevel.O3,
+                        OptLevel.OVERIFY]
+    driver = session or CompilerSession()
     results: Dict[OptLevel, CompilationResult] = {}
     for level in levels:
         options = CompileOptions(level=level, **option_kwargs)
-        results[level] = compile_source(program_source, options)
+        results[level] = driver.compile(program_source, options)
     return results

@@ -1,4 +1,4 @@
-"""Optimization levels and their pass pipelines.
+"""Optimization levels as data: named textual pipeline specs.
 
 This module is the concrete realization of the paper's proposal: the same
 pass library is assembled into CPU-oriented pipelines (``-O1``/``-O2``/
@@ -11,6 +11,13 @@ pass library is assembled into CPU-oriented pipelines (``-O1``/``-O2``/
 3. preserves extra metadata (the annotation pass), and
 4. inserts runtime checks so that all failures become crashes.
 
+Since the registry redesign each level is a *pipeline string* in
+:data:`LEVEL_PIPELINES` — the same syntax :func:`repro.passes.parse_pipeline`
+accepts from users — so a new pipeline shape is an edit to a table (or a
+string passed to ``python -m repro --passes``), not to library code.  The
+driver-level knobs (``entry_points``, ``enable_checks``) are spec
+transforms over the parsed :class:`~repro.passes.PipelineSpec`.
+
 The fourth element of the paper's design — linking a verification-optimized
 C library — is handled by the driver in :mod:`repro.pipelines.compiler`,
 which selects the library variant from :mod:`repro.vlibc`.
@@ -19,15 +26,11 @@ which selects the library variant from :mod:`repro.vlibc`.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..passes import (
-    AnalysisManager, AnnotateForVerification, ConstantPropagation,
-    DeadCodeElimination, GlobalDCE, GlobalValueNumbering, IfConversion,
-    IfConversionParams, InlineParams, Inliner, InsertRuntimeChecks,
-    InstCombine, JumpThreading, LoopInvariantCodeMotion, LoopUnrolling,
-    LoopUnswitching, Pass, PassManager, PromoteMemoryToRegisters,
-    ScalarReplacementOfAggregates, SimplifyCFG, UnrollParams, UnswitchParams,
+    AnalysisManager, PassManager, PipelineSpec, build_passes, format_pipeline,
+    parse_pipeline,
 )
 
 
@@ -52,14 +55,165 @@ class OptLevel(enum.Enum):
 OSYMBEX = OptLevel.OVERIFY
 
 
-def _cleanup_passes() -> List[Pass]:
-    """The scalar cleanup bundle run between the structural passes."""
-    return [
-        ConstantPropagation(),
-        InstCombine(),
-        DeadCodeElimination(),
-        SimplifyCFG(),
-    ]
+def parse_opt_level(name: str) -> OptLevel:
+    """Resolve a level from its flag spelling (``-O2``, ``O2``, ``overify``)."""
+    text = name.strip().lstrip("-").upper()
+    for level in OptLevel:
+        if level.value.lstrip("-") == text:
+            return level
+    known = ", ".join(str(level) for level in OptLevel)
+    raise ValueError(f"unknown optimization level '{name}'; known: {known}")
+
+
+#: The scalar cleanup bundle run between the structural passes.
+CLEANUP = "constprop,instcombine,dce,simplifycfg"
+
+#: The shared scalarization prefix of every optimizing level.
+_SCALARIZE = f"simplifycfg,mem2reg,sroa,mem2reg,{CLEANUP}"
+
+#: Re-promote and clean up after the inliner has merged bodies.
+_POST_INLINE = f"simplifycfg,mem2reg,{CLEANUP}"
+
+#: Every level's pipeline, as data.  The strings are canonical: they render
+#: back to themselves through ``format_pipeline(parse_pipeline(s))``.
+LEVEL_PIPELINES: Dict[OptLevel, str] = {
+    # -O0 only removes blocks the front end itself made unreachable
+    # (they would otherwise confuse the dominance-based analyses).
+    OptLevel.O0: "simplifycfg",
+
+    OptLevel.O1: f"simplifycfg,mem2reg,{CLEANUP}",
+
+    OptLevel.O2: (
+        f"{_SCALARIZE},"
+        "inline<threshold=40>,"
+        f"{_POST_INLINE},"
+        "gvn,jump-threading,licm,"
+        f"{CLEANUP},"
+        "globaldce"
+    ),
+
+    # A CPU-oriented build limits the code growth of unswitching and
+    # speculates almost nothing (branches are cheap on a CPU).
+    OptLevel.O3: (
+        f"{_SCALARIZE},"
+        "inline<threshold=45,loops>,"
+        f"{_POST_INLINE},"
+        "gvn,jump-threading,licm,"
+        "loop-unswitch<size=40>,"
+        f"{CLEANUP},"
+        "loop-unroll<trips=4,size=128>,"
+        f"{CLEANUP},"
+        "ifconvert<spec=3>,"
+        f"{CLEANUP},"
+        "gvn,dce,globaldce"
+    ),
+
+    # -OVERIFY re-tunes every cost model for a path-exploring verifier:
+    # branches are far more expensive than on a CPU, so inline almost
+    # everything, convert every convertible branch *before* duplicating
+    # loops (Listing 2: loops whose bodies become branch-free do not need
+    # to be unswitched at all), duplicate and unroll loops freely, then
+    # insert runtime checks and export annotations.
+    OptLevel.OVERIFY: (
+        f"{_SCALARIZE},"
+        "inline<threshold=5000,loops,const-bonus=100>,"
+        f"{_POST_INLINE},"
+        "gvn,jump-threading,licm,"
+        "ifconvert<spec=64>,"
+        f"{CLEANUP},"
+        "gvn,"
+        "ifconvert<spec=64>,"
+        f"{CLEANUP},"
+        "loop-unswitch<size=400,max=16>,"
+        f"{CLEANUP},"
+        "loop-unroll<trips=64,size=4096>,"
+        f"{CLEANUP},"
+        "ifconvert<spec=64>,"
+        f"{CLEANUP},"
+        "gvn,dce,globaldce,"
+        "runtime-checks,simplifycfg,"
+        "annotate"
+    ),
+}
+
+#: How many times the whole pipeline is repeated looking for a fixpoint.
+#: -OVERIFY gets an extra round: its huge thresholds keep exposing work.
+LEVEL_MAX_ITERATIONS: Dict[OptLevel, int] = {
+    level: (3 if level is OptLevel.OVERIFY else 2) for level in OptLevel}
+
+
+def level_spec_string(level: OptLevel) -> str:
+    """The textual pipeline spec for ``level``."""
+    return LEVEL_PIPELINES[level]
+
+
+def level_spec(level: OptLevel) -> PipelineSpec:
+    """The parsed pipeline spec for ``level``."""
+    return parse_pipeline(LEVEL_PIPELINES[level])
+
+
+# --------------------------------------------------------------- transforms
+
+def with_entry_points(spec: PipelineSpec,
+                      entry_points: Iterable[str]) -> PipelineSpec:
+    """Point every dead-function-elimination pass at ``entry_points``
+    (the functions that must survive)."""
+    roots = tuple(sorted(entry_points))
+    return spec.map_passes(
+        lambda p: p.with_param("roots", roots) if p.name == "globaldce" else p)
+
+
+def with_runtime_checks(spec: PipelineSpec, enabled: bool) -> PipelineSpec:
+    """Enable/disable the runtime-check stage (Table 2's "Generate runtime
+    checks" ablation row).  Disabling removes the ``runtime-checks`` pass
+    and the ``simplifycfg`` cleanup that follows it."""
+    if enabled:
+        return spec
+    rebuilt = []
+    passes = list(spec.passes)
+    index = 0
+    while index < len(passes):
+        if passes[index].name == "runtime-checks":
+            index += 1
+            if index < len(passes) and passes[index].name == "simplifycfg":
+                index += 1
+            continue
+        rebuilt.append(passes[index])
+        index += 1
+    return PipelineSpec(tuple(rebuilt))
+
+
+# ----------------------------------------------------------------- builders
+
+def build_pipeline_from_spec(spec: PipelineSpec,
+                             verify_after_each: bool = False,
+                             max_iterations: int = 2,
+                             analyses: Optional[AnalysisManager] = None
+                             ) -> PassManager:
+    """Build a :class:`PassManager` running exactly the passes in ``spec``.
+
+    The manager remembers the spec (``manager.spec``) so drivers can report
+    the pipeline in its textual form.
+    """
+    manager = PassManager(verify_after_each=verify_after_each,
+                          max_iterations=max_iterations,
+                          analyses=analyses)
+    manager.extend(build_passes(spec))
+    manager.spec = spec
+    return manager
+
+
+def build_pipeline_from_text(text: str,
+                             verify_after_each: bool = False,
+                             max_iterations: int = 2,
+                             analyses: Optional[AnalysisManager] = None
+                             ) -> PassManager:
+    """Build a pipeline straight from its textual form (the CLI's
+    ``--passes`` path)."""
+    return build_pipeline_from_spec(parse_pipeline(text),
+                                    verify_after_each=verify_after_each,
+                                    max_iterations=max_iterations,
+                                    analyses=analyses)
 
 
 def build_pipeline(level: OptLevel, entry_points: Optional[Set[str]] = None,
@@ -83,123 +237,19 @@ def build_pipeline(level: OptLevel, entry_points: Optional[Set[str]] = None,
         created when omitted); passing one in lets a driver keep analysis
         caches warm across several pipelines over the same module.
     """
-    roots = entry_points or {"main"}
-    manager = PassManager(verify_after_each=verify_after_each,
-                          max_iterations=3 if level is OptLevel.OVERIFY else 2,
-                          analyses=analyses)
-
-    if level is OptLevel.O0:
-        # -O0 only removes blocks the front end itself made unreachable
-        # (they would otherwise confuse the dominance-based analyses).
-        manager.add(SimplifyCFG())
-        return manager
-
-    if level is OptLevel.O1:
-        manager.extend([
-            SimplifyCFG(),
-            PromoteMemoryToRegisters(),
-            *_cleanup_passes(),
-        ])
-        return manager
-
-    if level is OptLevel.O2:
-        manager.extend([
-            SimplifyCFG(),
-            PromoteMemoryToRegisters(),
-            ScalarReplacementOfAggregates(),
-            PromoteMemoryToRegisters(),
-            *_cleanup_passes(),
-            Inliner(InlineParams(threshold=40, allow_loops=False)),
-            SimplifyCFG(),
-            PromoteMemoryToRegisters(),
-            *_cleanup_passes(),
-            GlobalValueNumbering(),
-            JumpThreading(),
-            LoopInvariantCodeMotion(),
-            *_cleanup_passes(),
-            GlobalDCE(roots),
-        ])
-        return manager
-
-    if level is OptLevel.O3:
-        manager.extend([
-            SimplifyCFG(),
-            PromoteMemoryToRegisters(),
-            ScalarReplacementOfAggregates(),
-            PromoteMemoryToRegisters(),
-            *_cleanup_passes(),
-            Inliner(InlineParams(threshold=45, allow_loops=True)),
-            SimplifyCFG(),
-            PromoteMemoryToRegisters(),
-            *_cleanup_passes(),
-            GlobalValueNumbering(),
-            JumpThreading(),
-            LoopInvariantCodeMotion(),
-            # A CPU-oriented build limits the code growth of unswitching.
-            LoopUnswitching(UnswitchParams(max_loop_size=40)),
-            *_cleanup_passes(),
-            LoopUnrolling(UnrollParams(max_trip_count=4,
-                                       max_unrolled_size=128)),
-            *_cleanup_passes(),
-            IfConversion(IfConversionParams(max_speculated_instructions=3)),
-            *_cleanup_passes(),
-            GlobalValueNumbering(),
-            DeadCodeElimination(),
-            GlobalDCE(roots),
-        ])
-        return manager
-
-    # ----------------------------------------------------------- -OVERIFY
-    assert level is OptLevel.OVERIFY
-    manager.extend([
-        SimplifyCFG(),
-        PromoteMemoryToRegisters(),
-        ScalarReplacementOfAggregates(),
-        PromoteMemoryToRegisters(),
-        *_cleanup_passes(),
-        # (2) adjusted cost values: branches are far more expensive than on a
-        # CPU, so inline almost everything and duplicate loops freely.
-        Inliner(InlineParams(threshold=5000, allow_loops=True,
-                             constant_arg_bonus=100)),
-        SimplifyCFG(),
-        PromoteMemoryToRegisters(),
-        *_cleanup_passes(),
-        GlobalValueNumbering(),
-        JumpThreading(),
-        LoopInvariantCodeMotion(),
-        # (1) passes suited to verification: convert every convertible branch
-        # *before* duplicating loops, so that loops whose bodies become
-        # branch-free do not need to be unswitched at all (Listing 2).
-        IfConversion(IfConversionParams(max_speculated_instructions=64,
-                                        speculate_safe_loads=True)),
-        *_cleanup_passes(),
-        GlobalValueNumbering(),
-        IfConversion(IfConversionParams(max_speculated_instructions=64,
-                                        speculate_safe_loads=True)),
-        *_cleanup_passes(),
-        LoopUnswitching(UnswitchParams(max_loop_size=400,
-                                       max_unswitches_per_function=16)),
-        *_cleanup_passes(),
-        LoopUnrolling(UnrollParams(max_trip_count=64,
-                                   max_unrolled_size=4096)),
-        *_cleanup_passes(),
-        IfConversion(IfConversionParams(max_speculated_instructions=64,
-                                        speculate_safe_loads=True)),
-        *_cleanup_passes(),
-        GlobalValueNumbering(),
-        DeadCodeElimination(),
-        GlobalDCE(roots),
-    ])
-    if enable_checks:
-        # (4 in §3's list) runtime checks make every failure a crash.
-        manager.add(InsertRuntimeChecks())
-        manager.add(SimplifyCFG())
-    # (3) preserve metadata for the verification tool.
-    manager.add(AnnotateForVerification())
-    return manager
+    spec = with_runtime_checks(level_spec(level), enable_checks)
+    spec = with_entry_points(spec, entry_points or {"main"})
+    return build_pipeline_from_spec(
+        spec, verify_after_each=verify_after_each,
+        max_iterations=LEVEL_MAX_ITERATIONS[level], analyses=analyses)
 
 
 def pipeline_description(level: OptLevel) -> List[str]:
     """Names of the passes in the pipeline for ``level`` (for documentation
     and the build-chain example)."""
-    return [p.name for p in build_pipeline(level).passes]
+    return level_spec(level).pass_names()
+
+
+def describe_levels() -> Dict[OptLevel, str]:
+    """Every level's canonical pipeline string (documentation helper)."""
+    return {level: format_pipeline(level_spec(level)) for level in OptLevel}

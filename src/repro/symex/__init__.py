@@ -15,6 +15,7 @@ from .executor import (
     BugReport, PathRecord, SymbolicExecutor, SymexLimits, SymexReport,
     SymexStats, explore,
 )
+from .backend import SymexBackend
 
 __all__ = [
     "Expr", "ExprOp", "mask", "to_signed", "unsigned_interval",
@@ -28,4 +29,5 @@ __all__ = [
     "make_searcher",
     "BugReport", "PathRecord", "SymbolicExecutor", "SymexLimits",
     "SymexReport", "SymexStats", "explore",
+    "SymexBackend",
 ]

@@ -81,6 +81,7 @@ int main(unsigned char *input, int len) {
 register(Workload(
     name="wc",
     description="Count lines, words and characters (the full wc utility).",
+    sample_input=b"the quick brown fox\njumps over the lazy dog\n",
     source=OUTPUT_PREAMBLE + """
 int main(unsigned char *input, int len) {
     int lines = 0;

@@ -26,6 +26,8 @@ class Workload:
     category: str = "coreutils"
     #: Suggested symbolic-input size for the Figure 4 sweep.
     default_input_bytes: int = 4
+    #: Sample concrete input for single-execution runs (the CLI's --run).
+    sample_input: bytes = b"the quick brown fox"
 
     def __post_init__(self) -> None:
         if "int main(" not in self.source:

@@ -1,0 +1,174 @@
+"""Tests for :class:`repro.pipelines.CompilerSession`: front-end caching,
+cross-module analysis transfer, and the module-keyed manager pool."""
+
+import pytest
+
+from repro.analysis import CFG, DominatorTree, LoopInfo
+from repro.frontend import analyze, lower, parse
+from repro.ir.printer import print_module
+from repro.pipelines import (
+    CompileOptions, CompilerSession, OptLevel, compile_at_all_levels,
+    compile_source, link_sources,
+)
+from repro.workloads import get_workload
+
+SWEEP_LEVELS = [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
+
+
+@pytest.fixture(scope="module")
+def wc_source():
+    return get_workload("wc").source
+
+
+class TestOptionsAreNotMutated:
+    def test_level_shortcut_does_not_alias(self, wc_source):
+        options = CompileOptions()
+        result = compile_source(wc_source, options, level=OptLevel.O2)
+        assert result.level is OptLevel.O2
+        assert options.level is OptLevel.O0
+
+    def test_session_compile_does_not_mutate(self, wc_source):
+        options = CompileOptions(level=OptLevel.O1)
+        session = CompilerSession()
+        session.compile(wc_source, options, level=OptLevel.O3)
+        assert options.level is OptLevel.O1
+
+
+class TestSessionCorrectness:
+    def test_session_ir_identical_to_cold_compiles(self, wc_source):
+        session = CompilerSession()
+        for level in SWEEP_LEVELS:
+            warm = session.compile(wc_source, level=level)
+            cold = compile_source(wc_source, level=level)
+            assert print_module(warm.module) == print_module(cold.module), \
+                f"session compile diverged at {level}"
+
+    def test_repeated_compile_is_deterministic(self, wc_source):
+        session = CompilerSession()
+        first = session.compile(wc_source, level=OptLevel.OVERIFY)
+        second = session.compile(wc_source, level=OptLevel.OVERIFY)
+        assert print_module(first.module) == print_module(second.module)
+        # the second compile benefited from the exchange
+        assert second.analysis_stats.transfers > 0
+
+
+class TestSessionSharing:
+    def test_hit_rate_beats_independent_compiles(self, wc_source):
+        # The acceptance criterion: a four-level session sweep has a
+        # strictly higher aggregate analysis-cache hit rate than four
+        # independent cold compiles of the same workload.
+        session = CompilerSession()
+        for level in SWEEP_LEVELS:
+            session.compile(wc_source, level=level)
+        aggregate = session.analysis_stats
+
+        cold_hits = cold_misses = 0
+        for level in SWEEP_LEVELS:
+            stats = compile_source(wc_source, level=level).analysis_stats
+            cold_hits += stats.hits
+            cold_misses += stats.misses
+        cold_rate = cold_hits / (cold_hits + cold_misses)
+
+        assert aggregate.transfers > 0
+        assert aggregate.hit_rate > cold_rate
+
+    def test_frontend_is_reused_across_levels(self, wc_source):
+        session = CompilerSession()
+        for level in SWEEP_LEVELS:
+            session.compile(wc_source, level=level)
+        # Two linked sources exist (execution libc vs verification libc);
+        # four compiles must not parse more than twice.
+        assert session.stats.frontend_parses == 2
+        assert session.stats.frontend_reuses == 2
+        assert session.stats.compiles == 4
+
+    def test_compile_at_all_levels_uses_one_session(self, wc_source):
+        session = CompilerSession()
+        results = compile_at_all_levels(wc_source, levels=SWEEP_LEVELS,
+                                        session=session)
+        assert set(results) == set(SWEEP_LEVELS)
+        assert session.stats.compiles == 4
+        assert session.analysis_stats.transfers > 0
+
+    def test_manager_pool_is_module_keyed(self, wc_source):
+        session = CompilerSession()
+        result = session.compile(wc_source, level=OptLevel.O1)
+        manager = session.manager_for(result.module)
+        assert manager is session.manager_for(result.module)
+        other = session.compile(wc_source, level=OptLevel.O1)
+        assert session.manager_for(other.module) is not manager
+
+    def test_pipeline_text_is_reported(self, wc_source):
+        session = CompilerSession()
+        result = session.compile(wc_source, level=OptLevel.O0)
+        assert result.pipeline_text == "simplifycfg"
+
+
+class TestAnalysisTransfer:
+    """The remap constructors must produce exactly what a fresh computation
+    over the sibling function would."""
+
+    @pytest.fixture(scope="class")
+    def twin_functions(self, wc_source):
+        full = link_sources(wc_source, CompileOptions())
+        unit = parse(full)
+        analyze(unit)
+        reference = lower(unit, "reference")
+        working = lower(unit, "working")
+        ref_fn = reference.get_function("main")
+        work_fn = working.get_function("main")
+        block_map = {id(rb): wb
+                     for rb, wb in zip(ref_fn.blocks, work_fn.blocks)}
+        return ref_fn, work_fn, block_map
+
+    def test_remapped_cfg_matches_fresh(self, twin_functions):
+        ref_fn, work_fn, block_map = twin_functions
+        remapped = CFG.remapped(CFG(ref_fn), block_map, work_fn)
+        fresh = CFG(work_fn)
+        assert [b.name for b in remapped.postorder] == \
+            [b.name for b in fresh.postorder]
+        assert all(b.parent is work_fn for b in remapped.postorder)
+        for block in fresh.postorder:
+            assert sorted(p.name for p in remapped.predecessors(block)) == \
+                sorted(p.name for p in fresh.predecessors(block))
+            assert remapped.is_reachable(block)
+
+    def test_remapped_domtree_matches_fresh(self, twin_functions):
+        ref_fn, work_fn, block_map = twin_functions
+        cfg = CFG(work_fn)
+        remapped = DominatorTree.remapped(DominatorTree(ref_fn), block_map,
+                                          work_fn, cfg=cfg)
+        fresh = DominatorTree(work_fn)
+        for block in fresh.rpo:
+            fresh_idom = fresh.immediate_dominator(block)
+            remap_idom = remapped.immediate_dominator(block)
+            assert (fresh_idom.name if fresh_idom else None) == \
+                (remap_idom.name if remap_idom else None)
+
+    def test_remapped_loops_match_fresh(self, twin_functions):
+        ref_fn, work_fn, block_map = twin_functions
+        cfg = CFG(work_fn)
+        domtree = DominatorTree(work_fn, cfg=cfg)
+        remapped = LoopInfo.remapped(LoopInfo(ref_fn), block_map, work_fn,
+                                     domtree=domtree, cfg=cfg)
+        fresh = LoopInfo(work_fn, domtree=domtree, cfg=cfg)
+        assert len(remapped.loops) == len(fresh.loops)
+        fresh_headers = sorted(l.header.name for l in fresh.loops)
+        remap_headers = sorted(l.header.name for l in remapped.loops)
+        assert fresh_headers == remap_headers
+        for block in work_fn.blocks:
+            fresh_loop = fresh.loop_for(block)
+            remap_loop = remapped.loop_for(block)
+            assert (fresh_loop is None) == (remap_loop is None)
+            if fresh_loop is not None:
+                assert fresh_loop.header.name == remap_loop.header.name
+                assert fresh_loop.depth == remap_loop.depth
+
+    def test_transfer_window_closes_on_mutation(self, wc_source):
+        session = CompilerSession()
+        session.compile(wc_source, level=OptLevel.O1)
+        result = session.compile(wc_source, level=OptLevel.O1)
+        # Transfers happened, but only while functions were at their birth
+        # epoch — never more transfers than total hits.
+        stats = result.analysis_stats
+        assert 0 < stats.transfers <= stats.hits
