@@ -1,0 +1,95 @@
+"""Benchmark for the solver hot path on a branch-heavy workload.
+
+The program below forks at four input-dependent branches per input byte, so
+the solver sees the classic symbolic-execution query mix: many small
+overlapping conjunctions re-asked across sibling states.  The benchmark
+asserts the floors the optimized query stack must hold:
+
+* cache behaviour — the overwhelming share of queries is answered without a
+  CSP search (query cache, group cache, model reuse, interval fast path);
+* branch sharing — strictly fewer than one query per branch on average
+  (an UNSAT side answers the other side for free, seed engine: ~1.13);
+* strictly less search work (``assignments_tried``) than the naive
+  configuration (``enable_cache=False, enable_independence=False``) on the
+  identical exploration.
+
+``scripts/bench_record.py`` records the same workload into
+``BENCH_symex.json`` to track the perf trajectory across PRs.
+"""
+
+from repro.frontend import compile_to_ir
+from repro.symex import Solver, SymexLimits, explore
+
+from conftest import TIMEOUT_SECONDS
+
+BRANCH_HEAVY_PROGRAM = r"""
+int main(unsigned char *input, int len) {
+    int acc = 0;
+    for (int i = 0; i < len; i++) {
+        unsigned char c = input[i];
+        if (c > 'a') { acc += 1; }
+        if (c > 'm') { acc += 2; }
+        if (c == 'z') { acc += 4; }
+        if ((c & 0x0F) == 3) { acc += 8; }
+    }
+    if (acc > 6) { return 1; }
+    return acc;
+}
+"""
+
+#: Symbolic input size for the branch-heavy exploration (4^3 leaf shapes).
+INPUT_BYTES = 3
+
+#: Fraction of solver queries that must be answered without a CSP search.
+CACHE_HIT_RATE_FLOOR = 0.90
+
+
+def _explore(solver=None):
+    module = compile_to_ir(BRANCH_HEAVY_PROGRAM)
+    return explore(module, INPUT_BYTES,
+                   limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS),
+                   solver=solver)
+
+
+def test_branch_heavy_exploration_time(benchmark):
+    """Wall-clock of the full exploration with the optimized solver."""
+    report = benchmark(_explore)
+    stats = report.solver_stats
+    benchmark.extra_info["paths"] = report.stats.total_paths
+    benchmark.extra_info["queries"] = stats.queries
+    benchmark.extra_info["csp_searches"] = stats.csp_searches
+    benchmark.extra_info["assignments_tried"] = stats.assignments_tried
+
+    assert report.stats.total_paths >= 100
+    # Cache-hit-rate floor: queries decided without launching a CSP search.
+    hit_rate = 1.0 - stats.csp_searches / max(1, stats.queries)
+    assert hit_rate >= CACHE_HIT_RATE_FLOOR, \
+        f"solver cache hit rate {hit_rate:.2%} below floor"
+    assert stats.cache_hits > 0
+    assert stats.model_cache_hits > 0
+
+
+def test_optimized_solver_does_strictly_less_work_than_naive():
+    """The caching/independence/model-reuse stack must strictly reduce both
+    queries-per-branch and tried assignments against a naive configuration
+    exploring the same program."""
+    optimized_report = _explore()
+    naive_report = _explore(
+        solver=Solver(enable_cache=False, enable_independence=False))
+
+    # Identical exploration results first: same paths, same branches.
+    assert optimized_report.stats.total_paths == \
+        naive_report.stats.total_paths
+    assert optimized_report.stats.branches_encountered == \
+        naive_report.stats.branches_encountered
+
+    optimized = optimized_report.solver_stats
+    naive = naive_report.solver_stats
+    assert optimized.assignments_tried < naive.assignments_tried
+    assert optimized.csp_searches < naive.csp_searches
+
+    # Branch sharing: strictly fewer than one query per branch on average
+    # (the seed engine issued ~1.13 on this workload).
+    branches = optimized_report.stats.branches_encountered
+    assert optimized.queries / branches < 1.0
+    assert optimized.branch_sides_free > 0

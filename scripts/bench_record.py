@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Record the symbolic-execution perf trajectory into BENCH_symex.json.
+
+Runs the two workloads the solver benchmarks track — the Table 1 ``wc``
+sweep and the branch-heavy program from
+``benchmarks/test_symex_solver_bench.py`` — and appends one labelled entry
+with wall-clock times and solver counters to the JSON file.  Run it after
+perf-relevant changes so the trajectory stays comparable across PRs:
+
+    PYTHONPATH=src python scripts/bench_record.py --label "my change"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.pipelines import CompileOptions, OptLevel, compile_source  # noqa: E402
+from repro.frontend import compile_to_ir  # noqa: E402
+from repro.symex import SymexLimits, explore  # noqa: E402
+from repro.workloads import WC_PROGRAM  # noqa: E402
+
+from test_symex_solver_bench import BRANCH_HEAVY_PROGRAM, INPUT_BYTES  # noqa: E402
+
+WC_LEVELS = [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
+WC_INPUT_BYTES = 4
+TIMEOUT_SECONDS = 120.0
+
+
+def _solver_summary(report, seconds: float) -> dict:
+    stats = report.solver_stats
+    branches = max(1, report.stats.branches_encountered)
+    return {
+        "verify_seconds": round(seconds, 3),
+        "paths": report.stats.total_paths,
+        "solver_queries": stats.queries,
+        "queries_per_branch": round(stats.queries / branches, 3),
+        "assignments_tried": stats.assignments_tried,
+        "cache_hits": stats.cache_hits,
+        "model_cache_hits": stats.model_cache_hits,
+        "csp_searches": stats.csp_searches,
+    }
+
+
+def measure(label: str) -> dict:
+    entry: dict = {"label": label,
+                   "recorded_at": datetime.now(timezone.utc)
+                   .strftime("%Y-%m-%dT%H:%M:%SZ")}
+    try:
+        entry["commit"] = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        pass
+
+    sweep = {}
+    total = 0.0
+    for level in WC_LEVELS:
+        compiled = compile_source(WC_PROGRAM, CompileOptions(level=level))
+        start = time.perf_counter()
+        report = explore(compiled.module, WC_INPUT_BYTES,
+                         limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+        seconds = time.perf_counter() - start
+        total += seconds
+        sweep[str(level)] = _solver_summary(report, seconds)
+    entry["wc_sweep"] = sweep
+    entry["wc_sweep_total_verify_seconds"] = round(total, 3)
+
+    module = compile_to_ir(BRANCH_HEAVY_PROGRAM)
+    start = time.perf_counter()
+    report = explore(module, INPUT_BYTES,
+                     limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+    seconds = time.perf_counter() - start
+    branch_heavy = _solver_summary(report, seconds)
+    branch_heavy["branches"] = report.stats.branches_encountered
+    entry["branch_heavy"] = branch_heavy
+    return entry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="unlabelled run",
+                        help="human-readable tag for this measurement")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_symex.json",
+                        help="JSON file to append the entry to")
+    args = parser.parse_args()
+
+    history = []
+    if args.output.exists():
+        history = json.loads(args.output.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"{args.output} is not a JSON list")
+
+    entry = measure(args.label)
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+    print(f"\nappended entry {len(history)} to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

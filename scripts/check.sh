@@ -38,9 +38,10 @@ print(f"verified {len(all_workloads())} workloads x {len(levels)} levels; "
 PY
 
 echo
-echo "== benchmark smoke (compile-side pipeline + session sweep, no timing rounds) =="
+echo "== benchmark smoke (compile pipeline + session sweep + solver hot path, no timing rounds) =="
 python -m pytest benchmarks/test_pipeline_compile_bench.py \
-    benchmarks/test_session_bench.py -q --benchmark-disable
+    benchmarks/test_session_bench.py \
+    benchmarks/test_symex_solver_bench.py -q --benchmark-disable
 
 echo
 echo "check.sh: all gates passed"

@@ -64,6 +64,9 @@ class ExperimentResult:
     return_value: Optional[int] = None
     #: Canonical spec of the backend that produced the verify phase.
     verify_backend: str = "symex"
+    #: Constraint-solver counters from the verify phase (solver-backed
+    #: backends only; see :class:`repro.symex.SolverStats`).
+    solver_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -116,6 +119,7 @@ def run_experiment(name: str, source: str, config: ExperimentConfig,
         bug_signatures=verified.bug_signatures,
         return_value=concrete.return_value,
         verify_backend=verified.backend,
+        solver_stats=verified.solver_stats,
     )
 
 

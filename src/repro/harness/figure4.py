@@ -110,6 +110,13 @@ class Figure4:
                    if outcome.timed_out(baseline)
                    and not outcome.timed_out(OptLevel.OVERIFY))
 
+    def solver_stat_total(self, key: str) -> int:
+        """A solver counter summed over every program and level of the
+        sweep (queries, cache_hits, model_cache_hits, ...)."""
+        return sum(int(outcome.results[level].solver_stats.get(key, 0))
+                   for outcome in self.outcomes
+                   for level in FIGURE4_LEVELS)
+
     # ------------------------------------------------------------ rendering
     def render(self) -> str:
         kept = sorted(self.kept(), key=lambda o: o.gain_over_o3)
@@ -144,6 +151,14 @@ class Figure4:
             ["timeouts at -OVERIFY", self.timeouts(OptLevel.OVERIFY)],
             ["rescued vs -O3 (timed out at -O3, finish with -OVERIFY)",
              self.rescued_programs(OptLevel.O3)],
+            ["solver queries (sweep total)",
+             self.solver_stat_total("queries")],
+            ["solver cache hits (sweep total)",
+             self.solver_stat_total("cache_hits")],
+            ["solver model-cache hits (sweep total)",
+             self.solver_stat_total("model_cache_hits")],
+            ["solver assignments tried (sweep total)",
+             self.solver_stat_total("assignments_tried")],
         ]
         summary = format_table(["statistic", "value"], summary_rows,
                                title="Figure 4 summary")

@@ -47,6 +47,12 @@ class Table1:
             ("t_run [ms]", lambda r: f"{r.run_seconds * 1000:.0f}"),
             ("# instructions", lambda r: r.interpreted_instructions),
             ("# paths", lambda r: r.paths),
+            ("# solver queries",
+             lambda r: int(r.solver_stats.get("queries", 0))),
+            ("# solver cache hits",
+             lambda r: int(r.solver_stats.get("cache_hits", 0))),
+            ("# model-cache hits",
+             lambda r: int(r.solver_stats.get("model_cache_hits", 0))),
         ]
         for label, getter in metrics:
             rows.append([label] + [getter(self.results[level])

@@ -49,6 +49,7 @@ class SymexBackend(VerificationBackend):
             errors=report.stats.paths_errored,
             timed_out=report.stats.timed_out,
             bug_signatures=frozenset(report.bug_signatures()),
+            solver_stats=report.solver_stats.as_dict(),
             detail=report,
         )
 

@@ -182,15 +182,15 @@ class SymbolicExecutor:
         frame.block = self.entry.entry_block
         arguments = self.entry.arguments
         if arguments:
-            frame.values[id(arguments[0])] = const(POINTER_WIDTH, buffer_address)
+            frame.bind(id(arguments[0]), const(POINTER_WIDTH, buffer_address))
         if len(arguments) > 1:
             arg_type = arguments[1].type
             width = arg_type.width if isinstance(arg_type, IntType) else 32
-            frame.values[id(arguments[1])] = const(width, num_input_bytes)
+            frame.bind(id(arguments[1]), const(width, num_input_bytes))
         for extra in arguments[2:]:
             width = extra.type.width if isinstance(extra.type, IntType) \
                 else POINTER_WIDTH
-            frame.values[id(extra)] = const(width, 0)
+            frame.bind(id(extra), const(width, 0))
         state.push_frame(frame)
         return state
 
@@ -295,7 +295,7 @@ class SymbolicExecutor:
             value = phi.incoming_value_for(frame.previous_block)
             results[id(phi)] = self._eval(state, value)
             self.stats.instructions_interpreted += 1
-        frame.values.update(results)
+        frame.bind_many(results)
 
     # ---------------------------------------------------------- evaluation
     def _eval(self, state: ExecutionState, value: Value) -> Expr:
@@ -416,17 +416,25 @@ class SymbolicExecutor:
                 raise ProgramError(ErrorKind.DIVISION_BY_ZERO, "")
             return
         is_zero = binary(ExprOp.EQ, divisor, zero)
-        if self.solver.may_be_true(state.constraints, is_zero):
-            # Fork an error path on which the divisor is zero.
-            error_state = state.fork()
-            self.stats.forks += 1
-            self.stats.states_created += 1
-            error_state.add_constraint(is_zero)
-            error = ProgramError(ErrorKind.DIVISION_BY_ZERO, "",
-                                 state.frame.function.name,
-                                 state.frame.block.name
-                                 if state.frame.block else "")
-            self._record_error(error_state, error)
+        can_zero, can_nonzero = self.solver.check_branch(
+            state.relevant_constraints(is_zero), is_zero)
+        if not can_zero:
+            # Division is safe; the nonzero fact is implied by the path
+            # condition, so there is nothing to record.
+            return
+        if not can_nonzero:
+            # The divisor is zero on every continuation of this path.
+            raise ProgramError(ErrorKind.DIVISION_BY_ZERO, "")
+        # Fork an error path on which the divisor is zero.
+        error_state = state.fork()
+        self.stats.forks += 1
+        self.stats.states_created += 1
+        error_state.add_constraint(is_zero)
+        error = ProgramError(ErrorKind.DIVISION_BY_ZERO, "",
+                             state.frame.function.name,
+                             state.frame.block.name
+                             if state.frame.block else "")
+        self._record_error(error_state, error)
         state.add_constraint(not_expr(is_zero))
 
     def _execute_cast(self, state: ExecutionState, inst: CastInst) -> Expr:
@@ -460,7 +468,8 @@ class SymbolicExecutor:
         address = self._eval(state, pointer)
         if address.is_constant:
             return address.value
-        model = self.solver.get_model(state.constraints) or {}
+        model = self.solver.get_model(
+            state.relevant_constraints(address)) or {}
         concrete = address.evaluate({name: model.get(name, 0)
                                      for name in address.variables()})
         obj = state.memory.object_at(concrete)
@@ -471,7 +480,8 @@ class SymbolicExecutor:
                 ExprOp.OR,
                 binary(ExprOp.ULT, address, low),
                 binary(ExprOp.ULT, high, address))
-            if self.solver.may_be_true(state.constraints, out_of_bounds):
+            if self.solver.may_be_true(
+                    state.relevant_constraints(out_of_bounds), out_of_bounds):
                 error_state = state.fork()
                 self.stats.forks += 1
                 self.stats.states_created += 1
@@ -501,7 +511,7 @@ class SymbolicExecutor:
         frame = StackFrame(callee, call_site=inst)
         frame.block = callee.entry_block
         for argument, actual in zip(callee.arguments, inst.args):
-            frame.values[id(argument)] = self._eval(state, actual)
+            frame.bind(id(argument), self._eval(state, actual))
         state.push_frame(frame)
         return False
 
@@ -533,7 +543,7 @@ class SymbolicExecutor:
         call_site = finished_frame.call_site
         if call_site is not None and not call_site.type.is_void and \
                 value is not None:
-            state.frame.values[id(call_site)] = value
+            state.frame.bind(id(call_site), value)
 
     # ----------------------------------------------------------- branches
     def _execute_branch(self, state: ExecutionState, inst: BranchInst) -> bool:
@@ -546,8 +556,11 @@ class SymbolicExecutor:
             state.jump_to(inst.true_target if condition.value
                           else inst.false_target)
             return False
-        can_true = self.solver.may_be_true(state.constraints, condition)
-        can_false = self.solver.may_be_false(state.constraints, condition)
+        # Only the constraint groups sharing variables with the condition can
+        # affect the branch; disjoint groups are satisfiable by the state
+        # invariant and drop out of the query.
+        can_true, can_false = self.solver.check_branch(
+            state.relevant_constraints(condition), condition)
         if can_true and not can_false:
             state.add_constraint(condition)
             state.jump_to(inst.true_target)
@@ -586,6 +599,7 @@ class SymbolicExecutor:
                     return False
             state.jump_to(inst.default)
             return False
+        relevant = state.relevant_constraints(value)
         feasible: List[Tuple[Expr, BasicBlock]] = []
         default_constraint: List[Expr] = []
         for case_const, target in inst.cases():
@@ -593,10 +607,10 @@ class SymbolicExecutor:
             equals = binary(ExprOp.EQ, value,
                             const(value.width, case_const.value))
             default_constraint.append(not_expr(equals))
-            if self.solver.may_be_true(state.constraints, equals):
+            if self.solver.may_be_true(relevant, equals):
                 feasible.append((equals, target))
         default_feasible = self.solver.is_satisfiable(
-            state.constraints + default_constraint)
+            relevant + default_constraint)
         targets: List[Tuple[List[Expr], BasicBlock]] = [
             ([expr], target) for expr, target in feasible]
         if default_feasible:

@@ -1,8 +1,13 @@
 """Symbolic expressions over bitvectors.
 
-Expressions are immutable, structurally hashable trees.  The constructors in
-:mod:`repro.symex.simplify` perform light canonicalization/constant folding;
-the solver consumes expressions directly.
+Expressions are immutable, **hash-consed** DAG nodes: ``Expr.__new__`` interns
+every node in a global weak table, so structurally-equal expressions are the
+*same object*.  That makes equality and hashing identity-based (O(1)), lets
+per-node analyses (``variables()``, :func:`unsigned_interval`, the evaluation
+schedule) be memoized once per unique node, and turns state forking into pure
+structure sharing.  The constructors in :mod:`repro.symex.simplify` perform
+light canonicalization/constant folding; the solver consumes expressions
+directly.
 
 Widths follow the IR: 1, 8, 16, 32, 64 bit unsigned bitvectors with two's
 complement signed interpretations where needed.
@@ -11,7 +16,8 @@ complement signed interpretations where needed.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+import weakref
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 
 class ExprOp(enum.Enum):
@@ -63,36 +69,51 @@ def to_signed(value: int, width: int) -> int:
 
 
 class Expr:
-    """An immutable bitvector expression."""
+    """An immutable, interned bitvector expression.
 
-    __slots__ = ("op", "width", "operands", "value", "name", "_hash", "_vars")
+    Because every node goes through the intern table, ``a is b`` whenever
+    ``a`` and ``b`` are structurally equal; ``==`` and ``hash`` are the
+    (default) identity operations.  Per-node caches (``_vars``, ``_interval``,
+    ``_schedule``) are therefore shared by every user of the node.
+    """
 
-    def __init__(self, op: ExprOp, width: int,
-                 operands: Tuple["Expr", ...] = (),
-                 value: int = 0, name: str = "") -> None:
+    __slots__ = ("op", "width", "operands", "value", "name",
+                 "_vars", "_interval", "_schedule", "__weakref__")
+
+    #: The global intern table.  Keys hold strong references to the operand
+    #: tuple, values are weak: a node (and its intern entry) dies as soon as
+    #: no state, constraint, or parent node references it.
+    _intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, op: ExprOp, width: int,
+                operands: Tuple["Expr", ...] = (),
+                value: int = 0, name: str = "") -> "Expr":
+        if op is ExprOp.CONST:
+            value &= mask(width)
+        key = (op, width, value, name, operands)
+        self = cls._intern.get(key)
+        if self is not None:
+            return self
+        self = super().__new__(cls)
         self.op = op
         self.width = width
         self.operands = operands
-        self.value = value & mask(width) if op is ExprOp.CONST else value
+        self.value = value
         self.name = name
-        self._hash: Optional[int] = None
         self._vars: Optional[FrozenSet[str]] = None
+        self._interval: Optional[Tuple[int, int]] = None
+        self._schedule: Optional[List[tuple]] = None
+        cls._intern[key] = self
+        return self
 
-    # ----------------------------------------------------------- identity
-    def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash((self.op, self.width, self.value, self.name,
-                               self.operands))
-        return self._hash
+    # ------------------------------------------------------------- identity
+    # Hash-consing makes structural equality identity: inherit object's
+    # identity-based __eq__/__hash__ on purpose.
 
-    def __eq__(self, other: object) -> bool:
-        if self is other:
-            return True
-        if not isinstance(other, Expr):
-            return NotImplemented
-        return (self.op is other.op and self.width == other.width and
-                self.value == other.value and self.name == other.name and
-                self.operands == other.operands)
+    @classmethod
+    def intern_table_size(cls) -> int:
+        """Number of live unique expressions (diagnostics/tests)."""
+        return len(cls._intern)
 
     # ----------------------------------------------------------- queries
     @property
@@ -126,81 +147,138 @@ class Expr:
         return self._vars
 
     def size(self) -> int:
-        """Number of nodes in the expression tree."""
-        return 1 + sum(op.size() for op in self.operands)
+        """Number of unique nodes in the expression DAG."""
+        return len(self._evaluation_schedule())
 
     # ----------------------------------------------------------- evaluation
-    def evaluate(self, assignment: Dict[str, int]) -> int:
-        """Evaluate under a concrete assignment of every variable."""
-        op = self.op
-        if op is ExprOp.CONST:
-            return self.value
-        if op is ExprOp.VAR:
-            try:
-                return assignment[self.name] & mask(self.width)
-            except KeyError as exc:
-                raise KeyError(f"no value for symbolic variable {self.name}") \
-                    from exc
-        if op is ExprOp.ITE:
-            condition = self.operands[0].evaluate(assignment)
-            chosen = self.operands[1] if condition else self.operands[2]
-            return chosen.evaluate(assignment)
-        if op in (ExprOp.ZEXT, ExprOp.TRUNC):
-            return self.operands[0].evaluate(assignment) & mask(self.width)
-        if op is ExprOp.SEXT:
-            inner = self.operands[0]
-            return to_signed(inner.evaluate(assignment), inner.width) & \
-                mask(self.width)
-        if op is ExprOp.NOT:
-            return (~self.operands[0].evaluate(assignment)) & mask(self.width)
+    def _evaluation_schedule(self) -> List[tuple]:
+        """A topologically-ordered flattening of the DAG, built once per
+        unique node: ``(op, width, operand_width, operand_indices, value,
+        name)`` tuples with children before parents.  Shared subexpressions
+        appear exactly once."""
+        schedule = self._schedule
+        if schedule is not None:
+            return schedule
+        index: Dict[int, int] = {}
+        schedule = []
+        stack: List[Tuple["Expr", bool]] = [(self, False)]
+        while stack:
+            node, ready = stack.pop()
+            if id(node) in index:
+                continue
+            if ready or not node.operands:
+                index[id(node)] = len(schedule)
+                operand_width = node.operands[0].width if node.operands \
+                    else node.width
+                schedule.append((node.op, node.width, operand_width,
+                                 tuple(index[id(o)] for o in node.operands),
+                                 node.value, node.name))
+            else:
+                stack.append((node, True))
+                for operand in node.operands:
+                    stack.append((operand, False))
+        self._schedule = schedule
+        return schedule
 
-        lhs = self.operands[0].evaluate(assignment)
-        rhs = self.operands[1].evaluate(assignment)
-        w = self.operands[0].width
-        if op is ExprOp.ADD:
-            return (lhs + rhs) & mask(self.width)
-        if op is ExprOp.SUB:
-            return (lhs - rhs) & mask(self.width)
-        if op is ExprOp.MUL:
-            return (lhs * rhs) & mask(self.width)
-        if op is ExprOp.AND:
-            return lhs & rhs
-        if op is ExprOp.OR:
-            return lhs | rhs
-        if op is ExprOp.XOR:
-            return lhs ^ rhs
-        if op is ExprOp.SHL:
-            return (lhs << (rhs % self.width)) & mask(self.width)
-        if op is ExprOp.LSHR:
-            return lhs >> (rhs % self.width)
-        if op is ExprOp.ASHR:
-            return (to_signed(lhs, w) >> (rhs % self.width)) & mask(self.width)
-        if op is ExprOp.UDIV:
-            return (lhs // rhs) & mask(self.width) if rhs else 0
-        if op is ExprOp.UREM:
-            return (lhs % rhs) & mask(self.width) if rhs else lhs
-        if op is ExprOp.SDIV:
-            if rhs == 0:
-                return 0
-            return int(to_signed(lhs, w) / to_signed(rhs, w)) & mask(self.width)
-        if op is ExprOp.SREM:
-            if rhs == 0:
-                return lhs
-            slhs, srhs = to_signed(lhs, w), to_signed(rhs, w)
-            return (slhs - int(slhs / srhs) * srhs) & mask(self.width)
-        if op is ExprOp.EQ:
-            return int(lhs == rhs)
-        if op is ExprOp.NE:
-            return int(lhs != rhs)
-        if op is ExprOp.ULT:
-            return int(lhs < rhs)
-        if op is ExprOp.ULE:
-            return int(lhs <= rhs)
-        if op is ExprOp.SLT:
-            return int(to_signed(lhs, w) < to_signed(rhs, w))
-        if op is ExprOp.SLE:
-            return int(to_signed(lhs, w) <= to_signed(rhs, w))
-        raise ValueError(f"cannot evaluate {op}")
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate under a concrete assignment of every variable.
+
+        Iterative (no recursion) over the memoized DAG schedule, so deeply
+        nested expressions evaluate without hitting the recursion limit and
+        shared subexpressions are computed once.
+        """
+        schedule = self._schedule or self._evaluation_schedule()
+        values: List[int] = [0] * len(schedule)
+        # Bind the hot names locally: this loop runs once per tried
+        # assignment in the solver's CSP search.
+        op_const, op_var, op_ite = ExprOp.CONST, ExprOp.VAR, ExprOp.ITE
+        op_zext, op_trunc, op_sext = ExprOp.ZEXT, ExprOp.TRUNC, ExprOp.SEXT
+        op_not, op_add, op_sub = ExprOp.NOT, ExprOp.ADD, ExprOp.SUB
+        op_mul, op_and, op_or = ExprOp.MUL, ExprOp.AND, ExprOp.OR
+        op_xor, op_shl, op_lshr = ExprOp.XOR, ExprOp.SHL, ExprOp.LSHR
+        op_ashr, op_udiv, op_urem = ExprOp.ASHR, ExprOp.UDIV, ExprOp.UREM
+        op_sdiv, op_srem = ExprOp.SDIV, ExprOp.SREM
+        op_eq, op_ne = ExprOp.EQ, ExprOp.NE
+        op_ult, op_ule = ExprOp.ULT, ExprOp.ULE
+        op_slt, op_sle = ExprOp.SLT, ExprOp.SLE
+        signed = to_signed
+        for i, (op, width, opw, idxs, const_value, name) in enumerate(schedule):
+            if op is op_const:
+                values[i] = const_value
+                continue
+            if op is op_var:
+                try:
+                    values[i] = assignment[name] & ((1 << width) - 1)
+                except KeyError as exc:
+                    raise KeyError(
+                        f"no value for symbolic variable {name}") from exc
+                continue
+            if op is op_ite:
+                values[i] = values[idxs[1]] if values[idxs[0]] \
+                    else values[idxs[2]]
+                continue
+            if op is op_zext or op is op_trunc:
+                values[i] = values[idxs[0]] & ((1 << width) - 1)
+                continue
+            if op is op_sext:
+                values[i] = signed(values[idxs[0]], opw) & ((1 << width) - 1)
+                continue
+            if op is op_not:
+                values[i] = (~values[idxs[0]]) & ((1 << width) - 1)
+                continue
+            lhs = values[idxs[0]]
+            rhs = values[idxs[1]]
+            if op is op_eq:
+                values[i] = 1 if lhs == rhs else 0
+            elif op is op_ne:
+                values[i] = 1 if lhs != rhs else 0
+            elif op is op_ult:
+                values[i] = 1 if lhs < rhs else 0
+            elif op is op_ule:
+                values[i] = 1 if lhs <= rhs else 0
+            elif op is op_slt:
+                values[i] = 1 if signed(lhs, opw) < signed(rhs, opw) else 0
+            elif op is op_sle:
+                values[i] = 1 if signed(lhs, opw) <= signed(rhs, opw) else 0
+            elif op is op_add:
+                values[i] = (lhs + rhs) & ((1 << width) - 1)
+            elif op is op_sub:
+                values[i] = (lhs - rhs) & ((1 << width) - 1)
+            elif op is op_mul:
+                values[i] = (lhs * rhs) & ((1 << width) - 1)
+            elif op is op_and:
+                values[i] = lhs & rhs
+            elif op is op_or:
+                values[i] = lhs | rhs
+            elif op is op_xor:
+                values[i] = lhs ^ rhs
+            elif op is op_shl:
+                values[i] = (lhs << (rhs % width)) & ((1 << width) - 1)
+            elif op is op_lshr:
+                values[i] = lhs >> (rhs % width)
+            elif op is op_ashr:
+                values[i] = (signed(lhs, opw) >> (rhs % width)) & \
+                    ((1 << width) - 1)
+            elif op is op_udiv:
+                values[i] = (lhs // rhs) & ((1 << width) - 1) if rhs else 0
+            elif op is op_urem:
+                values[i] = (lhs % rhs) & ((1 << width) - 1) if rhs else lhs
+            elif op is op_sdiv:
+                if rhs == 0:
+                    values[i] = 0
+                else:
+                    values[i] = int(signed(lhs, opw) /
+                                    signed(rhs, opw)) & ((1 << width) - 1)
+            elif op is op_srem:
+                if rhs == 0:
+                    values[i] = lhs
+                else:
+                    slhs, srhs = signed(lhs, opw), signed(rhs, opw)
+                    values[i] = (slhs - int(slhs / srhs) * srhs) & \
+                        ((1 << width) - 1)
+            else:
+                raise ValueError(f"cannot evaluate {op}")
+        return values[-1]
 
     # ----------------------------------------------------------- rendering
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -221,7 +299,20 @@ class Expr:
 # --------------------------------------------------------------------------
 def unsigned_interval(expr: Expr) -> Tuple[int, int]:
     """A conservative [low, high] unsigned interval for ``expr`` assuming all
-    variables are unconstrained."""
+    variables are unconstrained.
+
+    Memoized per interned node: thanks to hash-consing the interval of a
+    subexpression is computed once per process, not once per solver query.
+    """
+    cached = expr._interval
+    if cached is not None:
+        return cached
+    result = _unsigned_interval_uncached(expr)
+    expr._interval = result
+    return result
+
+
+def _unsigned_interval_uncached(expr: Expr) -> Tuple[int, int]:
     op = expr.op
     full = (0, mask(expr.width))
     if op is ExprOp.CONST:
@@ -270,11 +361,23 @@ def unsigned_interval(expr: Expr) -> Tuple[int, int]:
         bits = max(high1.bit_length(), high2.bit_length())
         return (max(low1, low2), min(mask(expr.width),
                                      (1 << bits) - 1 if bits else 0))
+    if op is ExprOp.XOR:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        bits = max(high1.bit_length(), high2.bit_length())
+        return (0, min(mask(expr.width), (1 << bits) - 1 if bits else 0))
     if op is ExprOp.ADD:
         low1, high1 = unsigned_interval(expr.operands[0])
         low2, high2 = unsigned_interval(expr.operands[1])
         if high1 + high2 <= mask(expr.width):
             return (low1 + low2, high1 + high2)
+        return full
+    if op is ExprOp.SUB:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        # Sound only when no value pair can wrap below zero.
+        if low1 >= high2:
+            return (low1 - high2, high1 - low2)
         return full
     if op is ExprOp.MUL:
         low1, high1 = unsigned_interval(expr.operands[0])
@@ -282,7 +385,32 @@ def unsigned_interval(expr: Expr) -> Tuple[int, int]:
         if high1 * high2 <= mask(expr.width):
             return (low1 * low2, high1 * high2)
         return full
+    if op is ExprOp.SHL:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        low2, high2 = unsigned_interval(expr.operands[1])
+        # The shift amount is taken modulo the width; only predictable when
+        # the whole rhs interval stays below it and nothing can overflow.
+        if high2 < expr.width and (high1 << high2) <= mask(expr.width):
+            return (low1 << low2, high1 << high2)
+        return full
     if op is ExprOp.LSHR:
         low1, high1 = unsigned_interval(expr.operands[0])
         return (0, high1)
+    if op is ExprOp.TRUNC:
+        low1, high1 = unsigned_interval(expr.operands[0])
+        if high1 <= mask(expr.width):
+            return (low1, high1)
+        return full
+    if op is ExprOp.SEXT:
+        inner = expr.operands[0]
+        low1, high1 = unsigned_interval(inner)
+        half = 1 << (inner.width - 1)
+        if high1 < half:
+            # Never negative: sign extension is zero extension.
+            return (low1, high1)
+        if low1 >= half:
+            # Always negative: every value gains the same high bits.
+            delta = mask(expr.width) - mask(inner.width)
+            return (low1 + delta, high1 + delta)
+        return full
     return full

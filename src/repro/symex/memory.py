@@ -69,25 +69,44 @@ class SymbolicMemoryObject:
 class SymbolicMemory:
     """Byte-granular memory holding symbolic expressions.
 
-    Copy-on-fork is a shallow dict copy; expressions are immutable so sharing
-    them between states is safe.
+    Forking is copy-on-write: the byte dict and the object list are shared
+    between the two memories until one side writes (expressions themselves
+    are immutable, so sharing them is always safe).  A fork that never
+    writes — an error path, a terminated state — costs O(1).
     """
 
     def __init__(self) -> None:
         self._next_address = NULL_GUARD_SIZE
         self.objects: List[SymbolicMemoryObject] = []
         self.bytes: Dict[int, Expr] = {}
+        self._bytes_shared = False
+        self._objects_shared = False
 
     # ------------------------------------------------------------- copying
     def fork(self) -> "SymbolicMemory":
         clone = SymbolicMemory.__new__(SymbolicMemory)
         clone._next_address = self._next_address
-        clone.objects = list(self.objects)
-        clone.bytes = dict(self.bytes)
+        clone.objects = self.objects
+        clone.bytes = self.bytes
+        clone._bytes_shared = True
+        clone._objects_shared = True
+        self._bytes_shared = True
+        self._objects_shared = True
         return clone
+
+    def _own_bytes(self) -> None:
+        if self._bytes_shared:
+            self.bytes = dict(self.bytes)
+            self._bytes_shared = False
+
+    def _own_objects(self) -> None:
+        if self._objects_shared:
+            self.objects = list(self.objects)
+            self._objects_shared = False
 
     # -------------------------------------------------------------- layout
     def allocate(self, size: int, name: str = "", writable: bool = True) -> int:
+        self._own_objects()
         size = max(1, size)
         base = self._next_address
         self._next_address += size + 16
@@ -119,6 +138,7 @@ class SymbolicMemory:
     def store(self, address: int, value: Expr, size: int) -> None:
         """Store ``value`` (an expression of width 8*size) little-endian."""
         self._check(address, size, write=True)
+        self._own_bytes()
         for i in range(size):
             self.bytes[address + i] = extract_byte(value, i)
 
@@ -133,10 +153,12 @@ class SymbolicMemory:
 
     def store_concrete_bytes(self, address: int, data: bytes) -> None:
         self._check(address, len(data), write=True)
+        self._own_bytes()
         for i, value in enumerate(data):
             self.bytes[address + i] = const(8, value)
 
     def store_symbolic_bytes(self, address: int, exprs: List[Expr]) -> None:
         self._check(address, len(exprs), write=True)
+        self._own_bytes()
         for i, expr in enumerate(exprs):
             self.bytes[address + i] = expr

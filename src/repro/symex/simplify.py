@@ -10,13 +10,27 @@ expressions that reach the solver.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .expr import COMPARISON_OPS, Expr, ExprOp, mask, to_signed
 
+# Strong bounded caches in front of the weak intern table for the two
+# highest-traffic constructors: they skip the weakref machinery and keep the
+# most common leaves (small constants, input variables) permanently alive.
+_CONST_CACHE: Dict[Tuple[int, int], Expr] = {}
+_CONST_CACHE_LIMIT = 4096
+_VAR_CACHE: Dict[Tuple[int, str], Expr] = {}
+_VAR_CACHE_LIMIT = 4096
+
 
 def const(width: int, value: int) -> Expr:
-    return Expr(ExprOp.CONST, width, value=value)
+    key = (width, value)
+    expr = _CONST_CACHE.get(key)
+    if expr is None:
+        expr = Expr(ExprOp.CONST, width, value=value)
+        if len(_CONST_CACHE) < _CONST_CACHE_LIMIT:
+            _CONST_CACHE[key] = expr
+    return expr
 
 
 def true_expr() -> Expr:
@@ -28,7 +42,13 @@ def false_expr() -> Expr:
 
 
 def var(width: int, name: str) -> Expr:
-    return Expr(ExprOp.VAR, width, name=name)
+    key = (width, name)
+    expr = _VAR_CACHE.get(key)
+    if expr is None:
+        expr = Expr(ExprOp.VAR, width, name=name)
+        if len(_VAR_CACHE) < _VAR_CACHE_LIMIT:
+            _VAR_CACHE[key] = expr
+    return expr
 
 
 def _fold_binary(op: ExprOp, width: int, lhs: int, rhs: int,

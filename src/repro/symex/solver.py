@@ -12,9 +12,20 @@ The solver combines, in order of increasing cost:
 3. independent-constraint decomposition (KLEE's ``--use-independent-solver``):
    constraints are partitioned by shared variables so each group is solved
    separately,
-4. a backtracking CSP search over the byte domains of the variables in a
+4. a **model-reuse (counterexample) cache**: models from previously
+   satisfiable queries are tried against new queries before any search —
+   a superset query's model satisfies every subset query, and a subset
+   query's model frequently extends to the superset (KLEE's counterexample
+   cache),
+5. a backtracking CSP search over the byte domains of the variables in a
    group, with unary-constraint domain pruning and early constraint checking,
-5. query caching (both full queries and per-group results).
+6. query caching (both full queries and per-group results, models included,
+   so :meth:`Solver.get_model` never re-solves a decided query).
+
+Branch feasibility uses :meth:`Solver.check_branch`, which shares work
+between the two sides of a fork: when one side is proved unsatisfiable, the
+other side follows from the satisfiability of the base path condition and
+needs no new query.
 
 The solver is complete for the expression language as long as the search
 budget is not exhausted; when it is, the query conservatively reports
@@ -25,11 +36,14 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .expr import Expr, ExprOp, mask, unsigned_interval
 from .simplify import const, not_expr
+
+#: How many recent models the model-reuse cache keeps (LRU).
+MODEL_CACHE_SIZE = 64
 
 
 @dataclass
@@ -43,6 +57,17 @@ class SolverStats:
     assignments_tried: int = 0
     unknown_results: int = 0
     time_seconds: float = 0.0
+    #: Independent-group sub-queries issued (cache hits included).
+    group_queries: int = 0
+    #: Group queries answered by re-using a model from a previous SAT answer.
+    model_cache_hits: int = 0
+    #: Two-sided branch feasibility checks (:meth:`Solver.check_branch`).
+    branch_checks: int = 0
+    #: Branch sides answered for free from the other side's UNSAT proof.
+    branch_sides_free: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
 
 
 @dataclass
@@ -64,10 +89,17 @@ class Solver:
                  enable_cache: bool = True) -> None:
         self.max_assignments = max_assignments
         self.enable_independence = enable_independence
+        #: Gates all caching layers: the full-query cache, the per-group
+        #: cache, and the model-reuse cache.
         self.enable_cache = enable_cache
         self.stats = SolverStats()
         self._cache: Dict[FrozenSet[Expr], SolverResult] = {}
         self._group_cache: Dict[FrozenSet[Expr], SolverResult] = {}
+        #: Recently used satisfying assignments, most recent first.
+        self._models: List[Dict[str, int]] = []
+        #: Unary constraint -> frozenset of satisfying variable values.
+        #: Hash-consing makes the constraint expression itself the key.
+        self._unary_sat: Dict[Tuple[Expr, int], FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------ API
     def check(self, constraints: Sequence[Expr]) -> SolverResult:
@@ -88,11 +120,22 @@ class Solver:
         result = self.check(constraints)
         if not result.satisfiable:
             return None
-        if result.model is not None:
-            return result.model
-        # The fast path may answer without building a model; fall back to the
-        # full search for one.
-        return self._solve_groups(list(constraints), need_model=True).model
+        model = result.model
+        if model is None:
+            # Only inexact answers (budget-exhausted or sparse wide-variable
+            # domains) carry no model; every cached or fast-path decision
+            # stores one.  Re-searching would deterministically repeat the
+            # same bounded search, so report "no witness" directly.
+            return None
+        # Constraints dropped by the interval fast path hold under *any*
+        # assignment, so completing with zeros keeps the model satisfying
+        # while covering every variable of the query.
+        completed = dict(model)
+        for constraint in constraints:
+            for name in constraint.variables():
+                if name not in completed:
+                    completed[name] = 0
+        return completed
 
     def may_be_true(self, constraints: Sequence[Expr], condition: Expr) -> bool:
         """Can ``condition`` be true under ``constraints``?"""
@@ -104,6 +147,33 @@ class Solver:
         if condition.is_constant:
             return not condition.value
         return self.is_satisfiable(list(constraints) + [not_expr(condition)])
+
+    def check_branch(self, constraints: Sequence[Expr], condition: Expr,
+                     assume_base_satisfiable: bool = True
+                     ) -> Tuple[bool, bool]:
+        """Feasibility of both sides of a branch: ``(can_true, can_false)``.
+
+        Shares work between the two sides: if ``constraints + [condition]``
+        is proved unsatisfiable, every model of the base path condition makes
+        ``condition`` false, so the false side is exactly the satisfiability
+        of the base.  With ``assume_base_satisfiable`` (the executor's state
+        invariant: a state's path condition is satisfiable) that side costs
+        no query at all; otherwise the base is re-checked, which hits the
+        per-group caches.
+        """
+        if condition.is_constant:
+            truth = bool(condition.value)
+            return truth, not truth
+        self.stats.branch_checks += 1
+        base = list(constraints)
+        true_result = self.check(base + [condition])
+        if not true_result.satisfiable and true_result.exact:
+            self.stats.branch_sides_free += 1
+            if assume_base_satisfiable:
+                return False, True
+            return False, self.check(base).satisfiable
+        false_result = self.check(base + [not_expr(condition)])
+        return true_result.satisfiable, false_result.satisfiable
 
     # ------------------------------------------------------------ internals
     def _check(self, constraints: List[Expr]) -> SolverResult:
@@ -141,14 +211,13 @@ class Solver:
                 self.stats.cache_hits += 1
                 return cached
 
-        result = self._solve_groups(remaining, need_model=False)
+        result = self._solve_groups(remaining)
         if self.enable_cache and result.exact:
             self._cache[key] = result
         return result
 
     # ------------------------------------------------------- group solving
-    def _solve_groups(self, constraints: List[Expr],
-                      need_model: bool) -> SolverResult:
+    def _solve_groups(self, constraints: List[Expr]) -> SolverResult:
         groups = self._independent_groups(constraints) \
             if self.enable_independence else [constraints]
         combined_model: Dict[str, int] = {}
@@ -199,17 +268,56 @@ class Solver:
         return result
 
     def _solve_group(self, constraints: List[Expr]) -> SolverResult:
+        self.stats.group_queries += 1
         group_key = frozenset(constraints)
         if self.enable_cache:
             cached = self._group_cache.get(group_key)
             if cached is not None:
                 self.stats.cache_hits += 1
                 return cached
+            reused = self._try_model_reuse(constraints)
+            if reused is not None:
+                result = SolverResult(True, model=reused)
+                self._group_cache[group_key] = result
+                return result
         result = self._solve_group_uncached(constraints)
         if self.enable_cache and result.exact:
             self._group_cache[group_key] = result
+            if result.satisfiable and result.model:
+                self._remember_model(result.model)
         return result
 
+    # ---------------------------------------------------------- model reuse
+    def _try_model_reuse(self, constraints: List[Expr]
+                         ) -> Optional[Dict[str, int]]:
+        """Try recently seen models against the query before searching.
+
+        A hit covers both cache directions at once: the model of a superset
+        query trivially satisfies a subset query, and a subset query's model
+        extends to a superset query whenever the extra constraints happen to
+        hold under it (unmentioned variables default to zero).
+        """
+        if not self._models:
+            return None
+        variables: set = set()
+        for constraint in constraints:
+            variables |= constraint.variables()
+        for index, model in enumerate(self._models):
+            candidate = {name: model.get(name, 0) for name in variables}
+            if all(c.evaluate(candidate) == 1 for c in constraints):
+                self.stats.model_cache_hits += 1
+                if index:
+                    self._models.insert(0, self._models.pop(index))
+                return candidate
+        return None
+
+    def _remember_model(self, model: Dict[str, int]) -> None:
+        if not model:
+            return
+        self._models.insert(0, model)
+        del self._models[MODEL_CACHE_SIZE:]
+
+    # ----------------------------------------------------------- CSP search
     def _solve_group_uncached(self, constraints: List[Expr]) -> SolverResult:
         self.stats.csp_searches += 1
         variables = sorted(set(itertools.chain.from_iterable(
@@ -233,19 +341,39 @@ class Solver:
                 unary.setdefault(next(iter(names)), []).append(constraint)
             else:
                 multi.append(constraint)
+        sparse = False
         for name in variables:
             width = widths.get(name, 8)
-            if width > 16:
+            sparse_domain = width > 16
+            if sparse_domain:
                 # Wide variables cannot be enumerated; fall back to a sparse
-                # candidate set (boundary values); exactness is dropped.
-                domain = [0, 1, 2, 255, mask(width) - 1, mask(width)]
+                # candidate set: boundary values plus every constant
+                # mentioned in the constraints (and its neighbours), which
+                # catches the common equality/ordering shapes.  The search
+                # is no longer a decision procedure, so a failure below must
+                # report "maybe satisfiable", never UNSAT.
+                sparse = True
+                candidates = {0, 1, 2, 255, mask(width) - 1, mask(width)}
+                for seed in self._constant_seeds(constraints):
+                    candidates.update({seed & mask(width),
+                                       (seed - 1) & mask(width),
+                                       (seed + 1) & mask(width)})
+                domain = sorted(candidates)
+                for constraint in unary.get(name, []):
+                    domain = [value for value in domain
+                              if constraint.evaluate({name: value}) == 1]
+                    self.stats.assignments_tried += len(domain)
             else:
                 domain = list(range(mask(width) + 1))
-            for constraint in unary.get(name, []):
-                domain = [value for value in domain
-                          if constraint.evaluate({name: value}) == 1]
-                self.stats.assignments_tried += len(domain)
+                for constraint in unary.get(name, []):
+                    allowed = self._unary_satisfying_values(constraint, name,
+                                                            width)
+                    domain = [value for value in domain if value in allowed]
             if not domain:
+                if sparse_domain:
+                    # The emptied domain was not exhaustive: no UNSAT proof.
+                    self.stats.unknown_results += 1
+                    return SolverResult(True, model=None, exact=False)
                 return SolverResult(False)
             domains[name] = domain
 
@@ -279,15 +407,46 @@ class Solver:
         model = backtrack(0)
         if model is not None:
             return SolverResult(True, model=model)
-        if budget[0] <= 0:
-            # Budget exhausted: be conservative (never prune a feasible path).
+        if budget[0] <= 0 or sparse:
+            # Budget exhausted, or the candidate sets were sparse and thus
+            # not exhaustive: be conservative (never prune a feasible path).
             self.stats.unknown_results += 1
             return SolverResult(True, model=None, exact=False)
         return SolverResult(False)
 
     @staticmethod
+    def _constant_seeds(constraints: List[Expr]) -> FrozenSet[int]:
+        """Every constant value appearing in the constraint expressions
+        (candidate seeds for sparse wide-variable domains)."""
+        seeds: set = set()
+        stack: List[Expr] = list(constraints)
+        while stack:
+            node = stack.pop()
+            if node.op is ExprOp.CONST:
+                seeds.add(node.value)
+            stack.extend(node.operands)
+        return frozenset(seeds)
+
+    def _unary_satisfying_values(self, constraint: Expr, name: str,
+                                 width: int) -> FrozenSet[int]:
+        """The set of values of ``name`` satisfying a single-variable
+        constraint, enumerated once per unique (interned) constraint and
+        cached for every later query that mentions it."""
+        key = (constraint, width)
+        cached = self._unary_sat.get(key)
+        if cached is None:
+            evaluate = constraint.evaluate
+            cached = frozenset(value for value in range(mask(width) + 1)
+                               if evaluate({name: value}) == 1)
+            self.stats.assignments_tried += mask(width) + 1
+            self._unary_sat[key] = cached
+        return cached
+
+    @staticmethod
     def _collect_widths(expr: Expr, widths: Dict[str, int]) -> None:
-        if expr.op is ExprOp.VAR:
-            widths[expr.name] = max(widths.get(expr.name, 0), expr.width)
-        for operand in expr.operands:
-            Solver._collect_widths(operand, widths)
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if node.op is ExprOp.VAR:
+                widths[node.name] = max(widths.get(node.name, 0), node.width)
+            stack.extend(node.operands)

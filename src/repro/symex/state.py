@@ -1,10 +1,24 @@
-"""Execution states of the symbolic executor."""
+"""Execution states of the symbolic executor.
+
+The path condition of a state is kept in two synchronized forms: the flat
+``constraints`` list (append order, used for reporting and full-model
+queries) and a partition into **variable-disjoint constraint groups**,
+maintained incrementally by :meth:`ExecutionState.add_constraint`.  A branch
+query only needs the groups that share variables with the branch condition
+(:meth:`relevant_constraints`), which keeps solver queries proportional to
+the coupled part of the path condition instead of its whole length.
+
+Forking is copy-on-write throughout: stack frames share their SSA binding
+dicts until one side writes, the symbolic memory shares its byte dict the
+same way, and the constraint groups are immutable tuples shared by
+reference.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..interp.errors import ProgramError
 from ..ir import Argument, BasicBlock, Function, Instruction, Value
@@ -23,7 +37,12 @@ class StateStatus(enum.Enum):
 
 @dataclass
 class StackFrame:
-    """One activation record in a state's call stack."""
+    """One activation record in a state's call stack.
+
+    ``values`` is copy-on-write: :meth:`fork` shares the dict between the
+    two frames and the first ``bind``/``bind_many`` on either side makes a
+    private copy.  All writes must go through those methods.
+    """
 
     function: Function
     #: SSA value bindings: id(Value) -> expression.
@@ -34,11 +53,28 @@ class StackFrame:
     index: int = 0
     #: The call instruction to bind the return value to in the caller.
     call_site: Optional[Instruction] = None
+    #: True while ``values`` is shared with a forked sibling.
+    values_shared: bool = field(default=False, repr=False, compare=False)
 
     def fork(self) -> "StackFrame":
-        clone = StackFrame(self.function, dict(self.values), self.block,
+        clone = StackFrame(self.function, self.values, self.block,
                            self.previous_block, self.index, self.call_site)
+        clone.values_shared = True
+        self.values_shared = True
         return clone
+
+    def _own_values(self) -> None:
+        if self.values_shared:
+            self.values = dict(self.values)
+            self.values_shared = False
+
+    def bind(self, key: int, expr: Expr) -> None:
+        self._own_values()
+        self.values[key] = expr
+
+    def bind_many(self, items: Dict[int, Expr]) -> None:
+        self._own_values()
+        self.values.update(items)
 
 
 class ExecutionState:
@@ -52,6 +88,14 @@ class ExecutionState:
         self.stack: List[StackFrame] = []
         self.memory = memory or SymbolicMemory()
         self.constraints: List[Expr] = []
+        #: Variable-disjoint partition of ``constraints``: representative
+        #: variable -> (variables of the group, constraints of the group).
+        #: Values are immutable tuples so forks share them by reference.
+        self._groups: Dict[str, Tuple[FrozenSet[str], Tuple[Expr, ...]]] = {}
+        #: Variable name -> representative (key into ``_groups``).
+        self._var_group: Dict[str, str] = {}
+        #: Variable-free constraints (only a literal false ever lands here).
+        self._varfree: Tuple[Expr, ...] = ()
         self.status = StateStatus.RUNNING
         self.error: Optional[ProgramError] = None
         self.return_value: Optional[Expr] = None
@@ -73,17 +117,24 @@ class ExecutionState:
 
     # ------------------------------------------------------------- values
     def bind(self, value: Value, expr: Expr) -> None:
-        self.frame.values[id(value)] = expr
+        self.frame.bind(id(value), expr)
 
     def lookup(self, value: Value) -> Expr:
         return self.frame.values[id(value)]
 
     # ------------------------------------------------------------- forking
     def fork(self) -> "ExecutionState":
-        """Create an identical copy of this state (new id)."""
+        """Create an identical copy of this state (new id).
+
+        Copy-on-write: frames and memory share structure with the clone
+        until either side writes.
+        """
         clone = ExecutionState(self.memory.fork())
         clone.stack = [frame.fork() for frame in self.stack]
         clone.constraints = list(self.constraints)
+        clone._groups = dict(self._groups)
+        clone._var_group = dict(self._var_group)
+        clone._varfree = self._varfree
         clone.status = self.status
         clone.instructions_executed = self.instructions_executed
         clone.depth = self.depth
@@ -91,8 +142,48 @@ class ExecutionState:
         return clone
 
     def add_constraint(self, constraint: Expr) -> None:
-        if not constraint.is_true:
-            self.constraints.append(constraint)
+        if constraint.is_true:
+            return
+        self.constraints.append(constraint)
+        names = constraint.variables()
+        if not names:
+            self._varfree = self._varfree + (constraint,)
+            return
+        # Merge every group that shares a variable with the new constraint.
+        keys = {self._var_group[name] for name in names
+                if name in self._var_group}
+        merged_vars = set(names)
+        merged_constraints: List[Expr] = []
+        for key in sorted(keys):
+            group_vars, group_constraints = self._groups.pop(key)
+            merged_vars |= group_vars
+            merged_constraints.extend(group_constraints)
+        merged_constraints.append(constraint)
+        representative = min(merged_vars)
+        self._groups[representative] = (frozenset(merged_vars),
+                                        tuple(merged_constraints))
+        for name in merged_vars:
+            self._var_group[name] = representative
+
+    def relevant_constraints(self, expr: Expr) -> List[Expr]:
+        """The subset of the path condition that can influence ``expr``:
+        every group sharing a variable with it, plus variable-free
+        constraints.  Groups disjoint from ``expr`` cannot change the
+        satisfiability of a query about it (given the state invariant that
+        the path condition is satisfiable)."""
+        keys = {self._var_group[name] for name in expr.variables()
+                if name in self._var_group}
+        relevant: List[Expr] = list(self._varfree)
+        for key in sorted(keys):
+            relevant.extend(self._groups[key][1])
+        return relevant
+
+    def constraint_groups(self) -> List[Tuple[Expr, ...]]:
+        """The current partition (for tests/diagnostics)."""
+        groups = [group for _, group in self._groups.values()]
+        if self._varfree:
+            groups.append(self._varfree)
+        return groups
 
     # ------------------------------------------------------------- control
     def jump_to(self, block: BasicBlock) -> None:

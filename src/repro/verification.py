@@ -54,6 +54,9 @@ class VerificationOutcome:
     timed_out: bool
     bug_signatures: frozenset = frozenset()
     return_value: Optional[int] = None
+    #: Constraint-solver counters (queries, cache/model-cache hits,
+    #: assignments tried, ...) for solver-backed engines; empty otherwise.
+    solver_stats: Dict[str, float] = field(default_factory=dict)
     #: The engine-specific report (``SymexReport`` / ``ExecutionResult``)
     #: for drivers that want the details.
     detail: object = None

@@ -1,0 +1,118 @@
+"""Randomized differential test for the solver's optimization layers.
+
+Every query answered by a long-lived solver with caching, independence
+decomposition, model reuse, and interning warm must agree with a fresh
+naive configuration (``Solver(enable_cache=False,
+enable_independence=False)``) on the same query.  The acceptance bar is
+>= 1,000 generated queries per run.
+
+Queries are generated small enough that the naive CSP always terminates
+within the assignment budget, so both configurations produce exact answers
+and must match bit for bit.
+"""
+
+import random
+
+from repro.symex import ExprOp, Solver, binary, const, not_expr, var
+
+QUERY_COUNT = 1200
+
+_COMPARISONS = [ExprOp.EQ, ExprOp.NE, ExprOp.ULT, ExprOp.ULE,
+                ExprOp.SLT, ExprOp.SLE]
+_ARITH = [ExprOp.ADD, ExprOp.SUB, ExprOp.MUL, ExprOp.AND, ExprOp.OR,
+          ExprOp.XOR, ExprOp.SHL, ExprOp.LSHR]
+
+
+def _random_term(rng, variables, depth=0):
+    """A width-8 term over ``variables`` (at most the given names)."""
+    if depth >= 2 or rng.random() < 0.45:
+        if rng.random() < 0.6:
+            return var(8, rng.choice(variables))
+        return const(8, rng.randrange(256))
+    op = rng.choice(_ARITH)
+    lhs = _random_term(rng, variables, depth + 1)
+    rhs = _random_term(rng, variables, depth + 1)
+    return binary(op, lhs, rhs)
+
+
+def _random_constraint(rng, variables):
+    op = rng.choice(_COMPARISONS)
+    lhs = _random_term(rng, variables)
+    rhs = _random_term(rng, variables)
+    constraint = binary(op, lhs, rhs)
+    if rng.random() < 0.25:
+        constraint = not_expr(constraint)
+    return constraint
+
+
+def _random_query(rng):
+    """1-3 random constraints over at most two distinct variables, plus a
+    unary domain bound per variable.  The bounds keep the naive
+    single-group CSP small (its search is quadratic in the domain sizes),
+    so both solver configurations always answer exactly."""
+    variables = rng.choice([["x"], ["y"], ["x", "y"]])
+    count = rng.randrange(1, 4)
+    query = [_random_constraint(rng, variables) for _ in range(count)]
+    for name in variables:
+        query.append(binary(ExprOp.ULT, var(8, name),
+                            const(8, rng.choice([16, 32, 48]))))
+    return query
+
+
+def test_optimized_solver_agrees_with_naive_on_random_queries():
+    rng = random.Random(20260729)
+    optimized = Solver()  # long-lived: caches stay warm across queries
+    queries = []
+    for _ in range(QUERY_COUNT):
+        query = _random_query(rng)
+        queries.append(query)
+        # Re-ask a prefix/superset of an earlier query now and then, to
+        # drive the model-reuse and subset/superset cache paths.
+        if len(queries) > 10 and rng.random() < 0.3:
+            earlier = rng.choice(queries[:-1])
+            if rng.random() < 0.5:
+                query = earlier[:max(1, len(earlier) - 1)]
+            else:
+                query = earlier + query[:1]
+            queries.append(query)
+
+    assert len(queries) >= 1000
+    disagreements = []
+    for index, query in enumerate(queries):
+        fast = optimized.check(query)
+        naive = Solver(enable_cache=False, enable_independence=False)
+        slow = naive.check(query)
+        assert fast.exact and slow.exact, \
+            "differential queries must stay within the search budget"
+        if fast.satisfiable != slow.satisfiable:
+            disagreements.append((index, query, fast.satisfiable,
+                                  slow.satisfiable))
+        if fast.satisfiable:
+            model = optimized.get_model(query)
+            assert model is not None
+            assert all(c.evaluate(model) == 1 for c in query), \
+                (index, [c.render() for c in query], model)
+    assert not disagreements, disagreements[:3]
+    # The run must actually have exercised the optimization layers.
+    stats = optimized.stats
+    assert stats.cache_hits > 0
+    assert stats.model_cache_hits > 0
+    assert stats.fast_path_decisions > 0
+
+
+def test_differential_may_be_true_false_and_branches():
+    """The branch primitive agrees with two independent naive queries."""
+    rng = random.Random(1337)
+    optimized = Solver()
+    for index in range(300):
+        constraints = _random_query(rng)
+        condition = _random_constraint(rng, ["x", "y"])
+        naive = Solver(enable_cache=False, enable_independence=False)
+        base_sat = naive.check(constraints).satisfiable
+        if not base_sat:
+            continue  # check_branch assumes a satisfiable base
+        expected = (naive.may_be_true(constraints, condition),
+                    naive.may_be_false(constraints, condition))
+        got = optimized.check_branch(constraints, condition)
+        assert got == expected, (index, [c.render() for c in constraints],
+                                 condition.render())

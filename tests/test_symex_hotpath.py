@@ -1,0 +1,441 @@
+"""Invariant tests for the symbolic-execution hot path: hash-consed
+expressions, the extended interval analysis, incremental per-state constraint
+groups, copy-on-write forking, and the solver's model-reuse caches."""
+
+import gc
+import random
+
+import pytest
+
+from repro.frontend import compile_to_ir
+from repro.symex import (
+    ExecutionState, Expr, ExprOp, Solver, StackFrame, SymbolicMemory, binary,
+    const, explore, ite, sext, trunc, unsigned_interval, var, zext,
+)
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing
+# ---------------------------------------------------------------------------
+class TestHashConsing:
+    def test_structurally_equal_expressions_are_identical(self):
+        x = var(8, "x")
+        a = binary(ExprOp.ADD, x, const(8, 7))
+        b = binary(ExprOp.ADD, var(8, "x"), const(8, 7))
+        assert a is b
+        assert hash(a) == hash(b)
+
+    def test_interning_is_recursive(self):
+        first = binary(ExprOp.MUL, zext(var(8, "k"), 32), const(32, 3))
+        second = binary(ExprOp.MUL, zext(var(8, "k"), 32), const(32, 3))
+        assert first is second
+        assert first.operands[0] is second.operands[0]
+
+    def test_distinct_expressions_stay_distinct(self):
+        x = var(8, "x")
+        assert binary(ExprOp.ADD, x, const(8, 1)) is not \
+            binary(ExprOp.ADD, x, const(8, 2))
+        assert const(8, 5) is not const(16, 5)
+        assert var(8, "x") is not var(8, "y")
+
+    def test_interned_nodes_share_memoized_analyses(self):
+        a = binary(ExprOp.AND, var(8, "m"), const(8, 0x0F))
+        assert unsigned_interval(a) == (0, 0x0F)
+        b = binary(ExprOp.AND, var(8, "m"), const(8, 0x0F))
+        # Same object: the cached interval and variable set are shared.
+        assert b._interval == (0, 0x0F)
+        assert a.variables() is b.variables()
+
+    def test_intern_table_entries_are_weak(self):
+        def unique_tree():
+            return binary(ExprOp.ADD,
+                          binary(ExprOp.MUL, var(8, "weaktest"),
+                                 const(8, 123)),
+                          const(8, 91))
+
+        tree = unique_tree()
+        before = Expr.intern_table_size()
+        del tree
+        gc.collect()
+        after = Expr.intern_table_size()
+        # The dead tree's non-leaf nodes were evicted (leaves may be kept
+        # alive by the strong const/var caches).
+        assert after < before
+
+    def test_set_membership_uses_identity(self):
+        x = var(8, "x")
+        seen = {binary(ExprOp.ULT, x, const(8, 9))}
+        assert binary(ExprOp.ULT, x, const(8, 9)) in seen
+        assert frozenset([binary(ExprOp.ULT, x, const(8, 9))]) == \
+            frozenset(seen)
+
+
+# ---------------------------------------------------------------------------
+# Iterative evaluation
+# ---------------------------------------------------------------------------
+class TestIterativeEvaluate:
+    def test_deep_chain_does_not_recurse(self):
+        expr = var(8, "x")
+        for _ in range(5000):
+            expr = binary(ExprOp.ADD, expr, var(8, "y"))
+        # 5000 nested additions would overflow Python's recursion limit in a
+        # recursive evaluator.
+        assert expr.evaluate({"x": 1, "y": 1}) == (1 + 5000) & 0xFF
+
+    def test_shared_subgraphs_evaluate_once_and_correctly(self):
+        x = var(8, "x")
+        shared = binary(ExprOp.MUL, x, const(8, 3))
+        expr = binary(ExprOp.ADD, shared, binary(ExprOp.XOR, shared,
+                                                 const(8, 0xFF)))
+        assert expr.size() <= 6  # DAG nodes, not tree nodes
+        for value in (0, 1, 77, 255):
+            expected = ((value * 3) & 0xFF) + (((value * 3) & 0xFF) ^ 0xFF)
+            assert expr.evaluate({"x": value}) == expected & 0xFF
+
+    def test_missing_variable_raises_keyerror(self):
+        expr = binary(ExprOp.ADD, var(8, "x"), var(8, "missing"))
+        with pytest.raises(KeyError):
+            expr.evaluate({"x": 1})
+
+    def test_ite_and_casts_evaluate(self):
+        x = var(8, "x")
+        cond = binary(ExprOp.ULT, x, const(8, 10))
+        expr = ite(cond, zext(x, 32), sext(x, 32))
+        assert expr.evaluate({"x": 5}) == 5
+        assert expr.evaluate({"x": 0xF0}) == 0xFFFFFFF0
+        assert trunc(sext(x, 32), 8).evaluate({"x": 0x90}) == 0x90
+
+
+# ---------------------------------------------------------------------------
+# Extended interval analysis
+# ---------------------------------------------------------------------------
+class TestUnsignedIntervals:
+    def test_sub_without_wraparound(self):
+        x, y = var(8, "x"), var(8, "y")
+        lhs = binary(ExprOp.ADD, zext(x, 32), const(32, 256))  # [256, 511]
+        expr = binary(ExprOp.SUB, lhs, zext(y, 32))            # - [0, 255]
+        assert unsigned_interval(expr) == (1, 511)
+
+    def test_sub_with_possible_wraparound_is_full(self):
+        x, y = var(8, "x"), var(8, "y")
+        expr = binary(ExprOp.SUB, zext(x, 32), zext(y, 32))
+        assert unsigned_interval(expr) == (0, (1 << 32) - 1)
+        # Wraparound really happens: the conservative answer is required.
+        assert expr.evaluate({"x": 0, "y": 1}) == (1 << 32) - 1
+
+    def test_xor_bounded_by_operand_bits(self):
+        x, y = var(8, "x"), var(8, "y")
+        masked = binary(ExprOp.XOR,
+                        binary(ExprOp.AND, x, const(8, 0x0F)),
+                        binary(ExprOp.AND, y, const(8, 0x03)))
+        low, high = unsigned_interval(masked)
+        assert (low, high) == (0, 0x0F)
+        for vx in (0, 3, 0xAA, 0xFF):
+            for vy in (0, 1, 0x55, 0xFF):
+                assert low <= masked.evaluate({"x": vx, "y": vy}) <= high
+
+    def test_shl_with_small_shift(self):
+        x = var(8, "x")
+        expr = binary(ExprOp.SHL,
+                      binary(ExprOp.AND, x, const(8, 0x03)), const(8, 2))
+        assert unsigned_interval(expr) == (0, 12)
+
+    def test_shl_that_can_overflow_is_full(self):
+        x = var(8, "x")
+        expr = binary(ExprOp.SHL, x, const(8, 4))
+        assert unsigned_interval(expr) == (0, 255)
+        # 0x1F << 4 wraps in 8 bits; the interval must cover the wrap.
+        assert expr.evaluate({"x": 0x1F}) == 0xF0
+
+    def test_shl_with_shift_at_least_width_is_full(self):
+        # Shift amounts are taken modulo the width at evaluation time;
+        # the interval cannot assume anything once the bound reaches it.
+        x = var(8, "x")
+        expr = binary(ExprOp.SHL, binary(ExprOp.AND, x, const(8, 1)),
+                      const(8, 9))
+        assert unsigned_interval(expr) == (0, 255)
+        assert expr.evaluate({"x": 1}) == 2  # 1 << (9 % 8)
+
+    def test_trunc_preserving_and_clipping(self):
+        x = var(8, "x")
+        small = binary(ExprOp.AND, zext(x, 32), const(32, 0x7F))
+        assert unsigned_interval(trunc(small, 8)) == (0, 0x7F)
+        wide = binary(ExprOp.ADD, zext(x, 32), const(32, 0x1F0))
+        assert unsigned_interval(trunc(wide, 8)) == (0, 255)
+        # The clipped case really wraps: 0x100 & 0xFF == 0.
+        assert trunc(wide, 8).evaluate({"x": 0x10}) == 0
+
+    def test_sext_of_never_negative_value(self):
+        x = var(8, "x")
+        expr = sext(binary(ExprOp.AND, x, const(8, 0x0F)), 32)
+        assert unsigned_interval(expr) == (0, 0x0F)
+
+    def test_sext_of_always_negative_value(self):
+        x = var(8, "x")
+        expr = sext(binary(ExprOp.OR, x, const(8, 0x80)), 16)
+        low, high = unsigned_interval(expr)
+        assert (low, high) == (0xFF80, 0xFFFF)
+        assert expr.evaluate({"x": 0}) == 0xFF80
+        assert expr.evaluate({"x": 0x7F}) == 0xFFFF
+
+    def test_sext_of_mixed_sign_value_is_full(self):
+        x = var(8, "x")
+        expr = sext(x, 16)
+        assert unsigned_interval(expr) == (0, 0xFFFF)
+
+    def test_intervals_contain_sampled_evaluations(self):
+        rng = random.Random(7)
+        x, y = var(8, "x"), var(8, "y")
+        ops = [ExprOp.ADD, ExprOp.SUB, ExprOp.MUL, ExprOp.AND, ExprOp.OR,
+               ExprOp.XOR, ExprOp.SHL, ExprOp.LSHR]
+        for _ in range(300):
+            op = rng.choice(ops)
+            lhs = rng.choice([x, y, const(8, rng.randrange(256)),
+                              binary(ExprOp.AND, x,
+                                     const(8, rng.randrange(256)))])
+            rhs = rng.choice([x, y, const(8, rng.randrange(256))])
+            expr = binary(op, lhs, rhs)
+            low, high = unsigned_interval(expr)
+            for _ in range(8):
+                assignment = {"x": rng.randrange(256),
+                              "y": rng.randrange(256)}
+                assert low <= expr.evaluate(assignment) <= high
+
+
+# ---------------------------------------------------------------------------
+# Incremental constraint groups
+# ---------------------------------------------------------------------------
+class TestConstraintGroups:
+    def _constraints(self):
+        x, y, z = var(8, "x"), var(8, "y"), var(8, "z")
+        return (binary(ExprOp.ULT, x, const(8, 10)),
+                binary(ExprOp.ULT, y, const(8, 20)),
+                binary(ExprOp.EQ, binary(ExprOp.ADD, x, z), const(8, 5)))
+
+    def test_disjoint_constraints_form_separate_groups(self):
+        cx, cy, _ = self._constraints()
+        state = ExecutionState()
+        state.add_constraint(cx)
+        state.add_constraint(cy)
+        groups = state.constraint_groups()
+        assert len(groups) == 2
+        assert {frozenset(g) for g in groups} == \
+            {frozenset([cx]), frozenset([cy])}
+
+    def test_shared_variable_merges_groups(self):
+        cx, cy, cxz = self._constraints()
+        state = ExecutionState()
+        state.add_constraint(cx)
+        state.add_constraint(cy)
+        state.add_constraint(cxz)  # shares x: merges with cx's group
+        groups = state.constraint_groups()
+        assert len(groups) == 2
+        assert frozenset([cx, cxz]) in {frozenset(g) for g in groups}
+
+    def test_groups_partition_the_constraint_list(self):
+        state = ExecutionState()
+        for c in self._constraints():
+            state.add_constraint(c)
+        flattened = [c for group in state.constraint_groups() for c in group]
+        assert sorted(map(id, flattened)) == sorted(map(id, state.constraints))
+        # Groups are pairwise variable-disjoint.
+        groups = state.constraint_groups()
+        for i, a in enumerate(groups):
+            vars_a = frozenset().union(*(c.variables() for c in a))
+            for b in groups[i + 1:]:
+                vars_b = frozenset().union(*(c.variables() for c in b))
+                assert not (vars_a & vars_b)
+
+    def test_relevant_constraints_selects_touching_groups_only(self):
+        cx, cy, cxz = self._constraints()
+        state = ExecutionState()
+        for c in (cx, cy, cxz):
+            state.add_constraint(c)
+        condition = binary(ExprOp.EQ, var(8, "z"), const(8, 1))
+        relevant = state.relevant_constraints(condition)
+        assert set(map(id, relevant)) == {id(cx), id(cxz)}
+        unrelated = binary(ExprOp.EQ, var(8, "w"), const(8, 1))
+        assert state.relevant_constraints(unrelated) == []
+
+    def test_fork_isolates_groups(self):
+        cx, cy, cxz = self._constraints()
+        state = ExecutionState()
+        state.add_constraint(cx)
+        child = state.fork()
+        child.add_constraint(cxz)
+        assert len(state.constraints) == 1
+        assert len(state.constraint_groups()) == 1
+        assert len(child.constraints) == 2
+        merged = {frozenset(g) for g in child.constraint_groups()}
+        assert frozenset([cx, cxz]) in merged
+
+    def test_true_constraints_are_dropped(self):
+        state = ExecutionState()
+        state.add_constraint(const(1, 1))
+        assert state.constraints == []
+        assert state.constraint_groups() == []
+
+    def test_variable_free_false_constraint_is_always_relevant(self):
+        state = ExecutionState()
+        state.add_constraint(const(1, 0))
+        condition = binary(ExprOp.EQ, var(8, "q"), const(8, 1))
+        assert const(1, 0) in state.relevant_constraints(condition)
+        assert not Solver().is_satisfiable(
+            state.relevant_constraints(condition) + [condition])
+
+
+# ---------------------------------------------------------------------------
+# Copy-on-write forking
+# ---------------------------------------------------------------------------
+class TestCopyOnWrite:
+    def test_memory_shares_until_either_side_writes(self):
+        memory = SymbolicMemory()
+        address = memory.allocate(2, "slot")
+        memory.store_concrete_bytes(address, b"\x01\x02")
+        clone = memory.fork()
+        assert clone.bytes is memory.bytes  # shared until a write
+        memory.store_concrete_bytes(address, b"\x09\x02")  # parent writes
+        assert clone.load(address, 1).value == 1
+        assert memory.load(address, 1).value == 9
+        clone.store_concrete_bytes(address + 1, b"\x07")   # child writes
+        assert memory.load(address + 1, 1).value == 2
+        assert clone.load(address + 1, 1).value == 7
+
+    def test_allocation_after_fork_is_private(self):
+        memory = SymbolicMemory()
+        memory.allocate(4, "shared")
+        clone = memory.fork()
+        clone.allocate(4, "child_only")
+        assert len(memory.objects) == 1
+        assert len(clone.objects) == 2
+
+    def test_stack_frame_values_cow(self):
+        module = compile_to_ir("int f() { return 1; }")
+        function = module.get_function("f")
+        frame = StackFrame(function)
+        frame.bind(1, const(8, 10))
+        clone = frame.fork()
+        assert clone.values is frame.values
+        clone.bind(2, const(8, 20))
+        assert 2 not in frame.values
+        frame.bind(3, const(8, 30))
+        assert 3 not in clone.values
+        assert frame.values[1] is clone.values[1]
+
+    def test_state_fork_preserves_execution_results(self):
+        # End to end: forked exploration still yields the same path set as
+        # the seed engine's eager-copy semantics.
+        module = compile_to_ir("""
+            int main(unsigned char *input, int len) {
+                int total = 0;
+                if (input[0] == 'a') { total += 1; }
+                if (input[1] == 'b') { total += 2; }
+                if (input[0] == 'a') { total += 4; }   /* re-test: no fork */
+                return total;
+            }
+        """)
+        report = explore(module, 2)
+        assert report.stats.total_paths == 4
+        returns = {p.return_value for p in report.paths}
+        assert returns == {0, 5, 2, 7}
+
+
+# ---------------------------------------------------------------------------
+# Solver caches
+# ---------------------------------------------------------------------------
+class TestSolverCaches:
+    def test_model_reuse_across_related_queries(self):
+        solver = Solver()
+        x = var(8, "x")
+        first = binary(ExprOp.ULT, x, const(8, 100))
+        solver.check([first])
+        before = solver.stats.csp_searches
+        # A superset query whose extra constraint holds under the cached
+        # model: answered by model reuse, no new search.
+        second = binary(ExprOp.ULT, x, const(8, 200))
+        result = solver.check([first, second])
+        assert result.satisfiable
+        assert solver.stats.model_cache_hits >= 1
+        assert solver.stats.csp_searches == before
+
+    def test_get_model_does_not_resolve_decided_queries(self):
+        solver = Solver()
+        x = var(8, "x")
+        constraints = [binary(ExprOp.EQ, x, const(8, 65))]
+        assert solver.check(constraints).satisfiable
+        searches = solver.stats.csp_searches
+        model = solver.get_model(constraints)
+        assert model == {"x": 65}
+        assert solver.stats.csp_searches == searches
+
+    def test_get_model_covers_fast_path_variables(self):
+        solver = Solver()
+        x, y = var(8, "x"), var(8, "y")
+        tautology = binary(ExprOp.ULE, zext(x, 32), const(32, 300))
+        constraints = [tautology, binary(ExprOp.ULT, y, const(8, 5))]
+        model = solver.get_model(constraints)
+        assert model is not None
+        assert set(model) == {"x", "y"}
+        assert all(c.evaluate(model) == 1 for c in constraints)
+
+    def test_check_branch_gets_unsat_side_free(self):
+        solver = Solver()
+        x = var(8, "x")
+        pinned = [binary(ExprOp.EQ, x, const(8, 5))]
+        condition = binary(ExprOp.EQ, x, const(8, 7))
+        queries = solver.stats.queries
+        can_true, can_false = solver.check_branch(pinned, condition)
+        assert (can_true, can_false) == (False, True)
+        assert solver.stats.branch_sides_free == 1
+        assert solver.stats.queries == queries + 1  # single query for both
+
+    def test_check_branch_two_sided(self):
+        solver = Solver()
+        x = var(8, "x")
+        condition = binary(ExprOp.ULT, x, const(8, 128))
+        assert solver.check_branch([], condition) == (True, True)
+        assert solver.check_branch([], const(1, 1)) == (True, False)
+        assert solver.check_branch([], const(1, 0)) == (False, True)
+
+    def test_unary_domains_enumerated_once(self):
+        solver = Solver()
+        x = var(8, "x")
+        constraint = binary(ExprOp.ULT, binary(ExprOp.AND, x, const(8, 0x3F)),
+                            const(8, 9))
+        solver.check([constraint])
+        tried = solver.stats.assignments_tried
+        # Same unary constraint in a different (uncachable by query key)
+        # conjunction: the satisfying set is reused, no re-enumeration.
+        other = binary(ExprOp.ULT, var(8, "other"), const(8, 3))
+        solver.check([constraint, other])
+        assert solver.stats.assignments_tried <= tried + 256
+
+    def test_wide_variable_equality_solved_via_constant_seeding(self):
+        # >16-bit variables get sparse candidate domains; constants from the
+        # constraints must be seeded so plain equalities still find models.
+        solver = Solver()
+        x = var(32, "wide")
+        constraints = [binary(ExprOp.EQ, x, const(32, 1000))]
+        result = solver.check(constraints)
+        assert result.satisfiable
+        assert solver.get_model(constraints) == {"wide": 1000}
+
+    def test_wide_variable_never_yields_false_unsat_proof(self):
+        # The sparse domain is not exhaustive, so a failed search must come
+        # back "maybe satisfiable" (inexact), never an exact UNSAT that
+        # check_branch would treat as a proof and use to prune paths.
+        solver = Solver()
+        x = var(32, "wide2")
+        contradiction_free = [
+            binary(ExprOp.EQ, binary(ExprOp.MUL, x, x), const(32, 12345)),
+        ]
+        result = solver.check(contradiction_free)
+        assert result.satisfiable or not result.exact
+
+    def test_cached_models_are_not_aliased_by_callers(self):
+        solver = Solver()
+        x = var(8, "x")
+        constraints = [binary(ExprOp.EQ, x, const(8, 65))]
+        model = solver.get_model(constraints)
+        model["x"] = 0  # caller mutates its copy
+        assert solver.get_model(constraints) == {"x": 65}
