@@ -1,24 +1,29 @@
-"""Benchmark for the solver hot path on a branch-heavy workload.
+"""Benchmarks for the solver hot path.
 
-The program below forks at four input-dependent branches per input byte, so
-the solver sees the classic symbolic-execution query mix: many small
-overlapping conjunctions re-asked across sibling states.  The benchmark
-asserts the floors the optimized query stack must hold:
+Three workloads cover the solver's query mixes:
 
-* cache behaviour — the overwhelming share of queries is answered without a
-  CSP search (query cache, group cache, model reuse, interval fast path);
-* branch sharing — strictly fewer than one query per branch on average
-  (an UNSAT side answers the other side for free, seed engine: ~1.13);
-* strictly less search work (``assignments_tried``) than the naive
-  configuration (``enable_cache=False, enable_independence=False``) on the
-  identical exploration.
+* a **branch-heavy** program forking at four input-dependent branches per
+  byte — the classic mix of many small overlapping conjunctions re-asked
+  across sibling states (cache floors, branch sharing, UBTree hits);
+* a **wide-variable** program whose interesting branches constrain a
+  32-bit value from the environment — the mix the sparse-domain fallback
+  answered inexactly and branch-and-prune must now decide exactly;
+* the Table 1 **wc sweep**, the repo's headline trajectory number, with a
+  wall-clock regression floor (asserted only when timing is enabled, so
+  CI's ``--benchmark-disable`` smoke stays load-independent) and a
+  deterministic assignments floor against the PR 3 entry.
 
-``scripts/bench_record.py`` records the same workload into
+``scripts/bench_record.py`` records the same workloads into
 ``BENCH_symex.json`` to track the perf trajectory across PRs.
 """
 
+import os
+import time
+
 from repro.frontend import compile_to_ir
-from repro.symex import Solver, SymexLimits, explore
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.symex import Solver, SolverConfig, SymexLimits, explore
+from repro.workloads import WC_PROGRAM
 
 from conftest import TIMEOUT_SECONDS
 
@@ -42,6 +47,42 @@ INPUT_BYTES = 3
 
 #: Fraction of solver queries that must be answered without a CSP search.
 CACHE_HIT_RATE_FLOOR = 0.90
+
+#: ``assignments_tried`` of the PR 3 entry in BENCH_symex.json on the
+#: branch-heavy workload; the Solver-v2 stack must stay strictly below it.
+PR3_BRANCH_HEAVY_ASSIGNMENTS = 5395
+
+#: The wide-variable workload: ``read_value()`` is an unknown external, so
+#: the executor havocs it with a fresh 32-bit symbolic variable.  Two of
+#: the branches are infeasible under the path condition; the sparse-domain
+#: fallback could only answer "maybe satisfiable" and explored them.
+WIDE_VALUE_PROGRAM = r"""
+int read_value();
+
+int main(unsigned char *input, int len) {
+    int n = read_value();
+    int hits = 0;
+    if (n < 0) { return 0; }
+    if (n > 1000000) { return 1; }
+    if (n > 2000000) { hits = 1; }      /* infeasible: n <= 1000000 */
+    if (n * 2 < 0) { hits = hits + 2; } /* infeasible: 2n <= 2000000 */
+    if (input[0] == 'x') { hits = hits + 4; }
+    return hits;
+}
+"""
+
+#: Wall-clock floor for the Table 1 wc sweep (4 symbolic bytes, all four
+#: levels); the PR 3 entry recorded 2.006s, the PR 4 entry 1.882s.  The
+#: assertion takes the best of two rounds (min-of-N is the standard
+#: noise-robust measure) and the floor can be raised via the environment
+#: for slower machines.
+WC_SWEEP_FLOOR_SECONDS = float(os.environ.get("WC_SWEEP_FLOOR_SECONDS",
+                                              "2.0"))
+WC_SWEEP_LEVELS = (OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY)
+WC_SWEEP_INPUT_BYTES = 4
+
+#: ``assignments_tried`` of the PR 3 entry on the wc sweep at -O0.
+PR3_WC_O0_ASSIGNMENTS = 16931
 
 
 def _explore(solver=None):
@@ -93,3 +134,87 @@ def test_optimized_solver_does_strictly_less_work_than_naive():
     branches = optimized_report.stats.branches_encountered
     assert optimized.queries / branches < 1.0
     assert optimized.branch_sides_free > 0
+
+
+def test_ubtree_index_carries_the_counterexample_cache():
+    """The UBTree index must answer a real share of the branch-heavy group
+    queries and do strictly less search work than the PR 3 linear-scan
+    entry recorded in BENCH_symex.json."""
+    report = _explore()
+    stats = report.solver_stats
+    assert stats.ubtree_hits > 0
+    assert stats.model_cache_hits > 0
+    assert stats.assignments_tried < PR3_BRANCH_HEAVY_ASSIGNMENTS
+
+    # The index must never disagree with the linear scan it replaced.
+    linear = _explore(solver=Solver(config=SolverConfig(ubtree=False)))
+    assert report.stats.total_paths == linear.stats.total_paths
+    assert report.bug_signatures() == linear.bug_signatures()
+
+
+def test_branch_and_prune_makes_wide_queries_exact(benchmark):
+    """Wide-variable explorations must report exact answers (no
+    ``unknown_results``) and prune the infeasible branches the sparse
+    fallback explored."""
+    module = compile_to_ir(WIDE_VALUE_PROGRAM)
+
+    def run():
+        return explore(module, 2,
+                       limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+
+    report = benchmark(run)
+    stats = report.solver_stats
+    benchmark.extra_info["paths"] = report.stats.total_paths
+    benchmark.extra_info["prune_splits"] = stats.prune_splits
+    assert stats.unknown_results == 0, "wide queries must be exact"
+    assert stats.prune_splits > 0
+    # The two infeasible branches are pruned: only the four feasible
+    # outcomes (early exits plus the input[0] fork) remain.
+    assert report.stats.total_paths == 4
+    assert {p.return_value for p in report.paths} == {0, 1, 4}
+
+    sparse = explore(module, 2,
+                     limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS),
+                     solver=Solver(config=SolverConfig(
+                         branch_and_prune=False)))
+    assert sparse.solver_stats.unknown_results > 0
+    assert sparse.stats.total_paths > report.stats.total_paths
+
+
+def test_wc_sweep_regression_floor(benchmark):
+    """The Table 1 sweep must hold the trajectory floors: wall clock no
+    worse than 2.0s (PR 3: 2.006s; timing asserted only when the benchmark
+    actually times, so smoke runs stay load-independent) and strictly
+    fewer assignments than the PR 3 entry at -O0."""
+    modules = {
+        level: compile_source(WC_PROGRAM,
+                              CompileOptions(level=level)).module
+        for level in WC_SWEEP_LEVELS
+    }
+
+    def sweep():
+        seconds = 0.0
+        reports = {}
+        for level, module in modules.items():
+            start = time.perf_counter()
+            reports[level] = explore(
+                module, WC_SWEEP_INPUT_BYTES,
+                limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+            seconds += time.perf_counter() - start
+        return seconds, reports
+
+    seconds, reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    timings = [seconds]
+    if benchmark.enabled:  # a second round so a load spike cannot flake
+        seconds, reports = sweep()
+        timings.append(seconds)
+    best = min(timings)
+    o0 = reports[OptLevel.O0].solver_stats
+    benchmark.extra_info["sweep_seconds"] = round(best, 3)
+    benchmark.extra_info["o0_assignments_tried"] = o0.assignments_tried
+    assert o0.assignments_tried < PR3_WC_O0_ASSIGNMENTS
+    assert reports[OptLevel.O0].stats.total_paths == 1605
+    if benchmark.enabled:
+        assert best <= WC_SWEEP_FLOOR_SECONDS, \
+            f"wc sweep took {best:.3f}s best-of-{len(timings)} " \
+            f"(floor {WC_SWEEP_FLOOR_SECONDS}s)"

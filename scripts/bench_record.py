@@ -29,7 +29,9 @@ from repro.frontend import compile_to_ir  # noqa: E402
 from repro.symex import SymexLimits, explore  # noqa: E402
 from repro.workloads import WC_PROGRAM  # noqa: E402
 
-from test_symex_solver_bench import BRANCH_HEAVY_PROGRAM, INPUT_BYTES  # noqa: E402
+from test_symex_solver_bench import (  # noqa: E402
+    BRANCH_HEAVY_PROGRAM, INPUT_BYTES, WIDE_VALUE_PROGRAM,
+)
 
 WC_LEVELS = [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
 WC_INPUT_BYTES = 4
@@ -48,6 +50,11 @@ def _solver_summary(report, seconds: float) -> dict:
         "cache_hits": stats.cache_hits,
         "model_cache_hits": stats.model_cache_hits,
         "csp_searches": stats.csp_searches,
+        "ubtree_hits": stats.ubtree_hits,
+        "ubtree_misses": stats.ubtree_misses,
+        "equality_rewrites": stats.equality_rewrites,
+        "prune_splits": stats.prune_splits,
+        "unknown_results": stats.unknown_results,
     }
 
 
@@ -83,6 +90,15 @@ def measure(label: str) -> dict:
     branch_heavy = _solver_summary(report, seconds)
     branch_heavy["branches"] = report.stats.branches_encountered
     entry["branch_heavy"] = branch_heavy
+
+    module = compile_to_ir(WIDE_VALUE_PROGRAM)
+    start = time.perf_counter()
+    report = explore(module, 2,
+                     limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+    seconds = time.perf_counter() - start
+    wide = _solver_summary(report, seconds)
+    wide["exact"] = report.solver_stats.unknown_results == 0
+    entry["wide_value"] = wide
     return entry
 
 

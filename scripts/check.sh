@@ -6,8 +6,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="$PWD/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q
+echo "== tier-1 tests (differential suite runs separately below, reduced) =="
+python -m pytest -x -q --ignore tests/test_solver_differential.py
 
 echo
 echo "== IR invariants: verify-after-each-pass compile of every workload =="
@@ -36,6 +36,15 @@ print(f"verified {len(all_workloads())} workloads x {len(levels)} levels; "
       f"analysis cache: {hits} hits / {misses} misses ({rate:.0%}), "
       f"{transfers} transferred across levels")
 PY
+
+echo
+echo "== solver differential-matrix smoke (reduced query counts) =="
+# Full counts (1200 queries + 8x500 matrix + 300 wide) stay the default
+# for a plain `python -m pytest`; the gate runs the same matrix reduced.
+SOLVER_DIFFERENTIAL_QUERIES=120 \
+SOLVER_DIFFERENTIAL_MATRIX_QUERIES=60 \
+SOLVER_DIFFERENTIAL_WIDE_QUERIES=60 \
+    python -m pytest tests/test_solver_differential.py -q
 
 echo
 echo "== benchmark smoke (compile pipeline + session sweep + solver hot path, no timing rounds) =="

@@ -157,6 +157,12 @@ class Figure4:
              self.solver_stat_total("cache_hits")],
             ["solver model-cache hits (sweep total)",
              self.solver_stat_total("model_cache_hits")],
+            ["solver ubtree hits (sweep total)",
+             self.solver_stat_total("ubtree_hits")],
+            ["solver equality rewrites (sweep total)",
+             self.solver_stat_total("equality_rewrites")],
+            ["solver prune splits (sweep total)",
+             self.solver_stat_total("prune_splits")],
             ["solver assignments tried (sweep total)",
              self.solver_stat_total("assignments_tried")],
         ]

@@ -53,6 +53,12 @@ class Table1:
              lambda r: int(r.solver_stats.get("cache_hits", 0))),
             ("# model-cache hits",
              lambda r: int(r.solver_stats.get("model_cache_hits", 0))),
+            ("# ubtree hits",
+             lambda r: int(r.solver_stats.get("ubtree_hits", 0))),
+            ("# equality rewrites",
+             lambda r: int(r.solver_stats.get("equality_rewrites", 0))),
+            ("# prune splits",
+             lambda r: int(r.solver_stats.get("prune_splits", 0))),
         ]
         for label, getter in metrics:
             rows.append([label] + [getter(self.results[level])

@@ -1,12 +1,15 @@
 """repro.symex — a KLEE-style symbolic execution engine for the repro IR."""
 
-from .expr import Expr, ExprOp, mask, to_signed, unsigned_interval
+from .expr import (
+    Expr, ExprOp, bounded_interval, mask, to_signed, unsigned_interval,
+)
 from .simplify import (
     binary, bitwise_not, concat_bytes, const, extract_byte, false_expr, ite,
-    not_expr, sext, true_expr, trunc, var, zext,
+    not_expr, rebuild, sext, substitute, true_expr, trunc, var, zext,
 )
 from .memory import SymbolicMemory, SymbolicMemoryObject
-from .solver import Solver, SolverResult, SolverStats
+from .solver import Solver, SolverConfig, SolverResult, SolverStats
+from .ubtree import UBTree
 from .state import ExecutionState, StackFrame, StateStatus
 from .searcher import (
     BFSSearcher, DFSSearcher, RandomSearcher, Searcher, make_searcher,
@@ -18,12 +21,13 @@ from .executor import (
 from .backend import SymexBackend
 
 __all__ = [
-    "Expr", "ExprOp", "mask", "to_signed", "unsigned_interval",
+    "Expr", "ExprOp", "bounded_interval", "mask", "to_signed",
+    "unsigned_interval",
     "binary", "bitwise_not", "concat_bytes", "const", "extract_byte",
-    "false_expr", "ite", "not_expr", "sext", "true_expr", "trunc", "var",
-    "zext",
+    "false_expr", "ite", "not_expr", "rebuild", "sext", "substitute",
+    "true_expr", "trunc", "var", "zext",
     "SymbolicMemory", "SymbolicMemoryObject",
-    "Solver", "SolverResult", "SolverStats",
+    "Solver", "SolverConfig", "SolverResult", "SolverStats", "UBTree",
     "ExecutionState", "StackFrame", "StateStatus",
     "BFSSearcher", "DFSSearcher", "RandomSearcher", "Searcher",
     "make_searcher",

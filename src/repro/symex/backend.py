@@ -1,8 +1,11 @@
 """The symbolic-execution engine as a :class:`VerificationBackend`.
 
-Searcher selection is by name (``dfs``/``bfs``/``random``), so a driver can
-write ``make_backend("symex<searcher=bfs>")`` without touching executor
-internals.
+Searcher selection and the Solver-v2 feature flags are by name, so a driver
+can write ``make_backend("symex<searcher=bfs,ubtree=off>")`` without
+touching executor internals.  The flags mirror
+:class:`~repro.symex.solver.SolverConfig`: ``ubtree``,
+``rewrite-equalities`` and ``branch-and-prune``, each accepting
+``on``/``off`` (also ``true``/``false``/``1``/``0``).
 """
 
 from __future__ import annotations
@@ -11,11 +14,26 @@ import time
 
 from ..ir import Module
 from ..verification import (
-    VerificationBackend, VerificationOutcome, VerificationRequest,
-    register_backend,
+    BackendSpecError, VerificationBackend, VerificationOutcome,
+    VerificationRequest, register_backend,
 )
 from .executor import SymexLimits, explore
 from .searcher import make_searcher
+from .solver import Solver, SolverConfig
+
+_TRUTHY = {True, 1, "1", "on", "true", "yes"}
+_FALSY = {False, 0, "0", "off", "false", "no"}
+
+
+def _parse_flag(name: str, value: object) -> bool:
+    if isinstance(value, str):
+        value = value.lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise BackendSpecError(
+        f"symex: flag '{name}' must be on/off, got {value!r}")
 
 
 class SymexBackend(VerificationBackend):
@@ -23,13 +41,32 @@ class SymexBackend(VerificationBackend):
 
     name = "symex"
 
-    def __init__(self, searcher: str = "dfs") -> None:
+    def __init__(self, searcher: str = "dfs", ubtree: object = True,
+                 rewrite_equalities: object = True,
+                 branch_and_prune: object = True) -> None:
         make_searcher(searcher)  # validate the name eagerly
         self.searcher = searcher
+        self.solver_config = SolverConfig(
+            ubtree=_parse_flag("ubtree", ubtree),
+            rewrite_equalities=_parse_flag("rewrite-equalities",
+                                           rewrite_equalities),
+            branch_and_prune=_parse_flag("branch-and-prune",
+                                         branch_and_prune),
+        )
 
     def describe(self) -> str:
+        parts = []
         if self.searcher != "dfs":
-            return f"symex<searcher={self.searcher}>"
+            parts.append(f"searcher={self.searcher}")
+        config = self.solver_config
+        for key, enabled in (("ubtree", config.ubtree),
+                             ("rewrite-equalities",
+                              config.rewrite_equalities),
+                             ("branch-and-prune", config.branch_and_prune)):
+            if not enabled:
+                parts.append(f"{key}=off")
+        if parts:
+            return f"symex<{','.join(parts)}>"
         return "symex"
 
     def verify(self, module: Module,
@@ -39,7 +76,8 @@ class SymexBackend(VerificationBackend):
         start = time.perf_counter()
         report = explore(module, request.symbolic_input_bytes,
                          entry=request.entry, searcher=self.searcher,
-                         limits=limits)
+                         limits=limits,
+                         solver=Solver(config=self.solver_config))
         seconds = time.perf_counter() - start
         return VerificationOutcome(
             backend=self.describe(),

@@ -164,7 +164,9 @@ class SymbolicExecutor:
         """Build the initial state: globals materialized, the entry function's
         ``(unsigned char *input, int len)`` parameters bound to a buffer of
         ``num_input_bytes`` symbolic bytes followed by a NUL terminator."""
-        state = ExecutionState()
+        state = ExecutionState(
+            rewrite_equalities=self.solver.config.rewrite_equalities,
+            solver_stats=self.solver.stats)
         self._initialize_globals(state.memory)
 
         buffer_address = state.memory.allocate(num_input_bytes + 1,
@@ -410,6 +412,8 @@ class SymbolicExecutor:
 
     def _check_division(self, state: ExecutionState, inst: BinaryInst,
                         divisor: Expr) -> None:
+        if divisor.is_symbolic:
+            divisor = state.rewrite(divisor)
         zero = const(divisor.width, 0)
         if divisor.is_constant:
             if divisor.value == 0:
@@ -466,6 +470,10 @@ class SymbolicExecutor:
         continuing state is then constrained to one concrete in-bounds value.
         """
         address = self._eval(state, pointer)
+        if address.is_symbolic:
+            # An address pinned by an earlier concretization constraint
+            # folds to that constant: no model query, no bounds re-check.
+            address = state.rewrite(address)
         if address.is_constant:
             return address.value
         model = self.solver.get_model(
@@ -552,6 +560,10 @@ class SymbolicExecutor:
             return False
         self.stats.branches_encountered += 1
         condition = self._eval(state, inst.condition)
+        if condition.is_symbolic:
+            # A condition the recorded equalities already decide folds to a
+            # constant here and never reaches the solver.
+            condition = state.rewrite(condition)
         if condition.is_constant:
             state.jump_to(inst.true_target if condition.value
                           else inst.false_target)
@@ -591,6 +603,8 @@ class SymbolicExecutor:
     def _execute_switch(self, state: ExecutionState, inst: SwitchInst) -> bool:
         self.stats.branches_encountered += 1
         value = self._eval(state, inst.value)
+        if value.is_symbolic:
+            value = state.rewrite(value)
         if value.is_constant:
             for case_const, target in inst.cases():
                 if isinstance(case_const, ConstantInt) and \

@@ -133,17 +133,33 @@ class Expr:
         return not self.is_constant
 
     def variables(self) -> FrozenSet[str]:
-        """Names of the symbolic variables the expression depends on."""
-        if self._vars is None:
-            if self.op is ExprOp.VAR:
-                self._vars = frozenset((self.name,))
-            elif self.op is ExprOp.CONST:
-                self._vars = frozenset()
-            else:
-                names: set = set()
-                for operand in self.operands:
-                    names |= operand.variables()
-                self._vars = frozenset(names)
+        """Names of the symbolic variables the expression depends on.
+
+        Iterative over the (persistent) per-node memo, so a cold deep
+        dependent chain does not hit the recursion limit."""
+        cached = self._vars
+        if cached is not None:
+            return cached
+        stack: List["Expr"] = [self]
+        while stack:
+            node = stack[-1]
+            if node._vars is not None:
+                stack.pop()
+                continue
+            if node.op is ExprOp.VAR:
+                node._vars = frozenset((node.name,))
+                stack.pop()
+                continue
+            pending = [operand for operand in node.operands
+                       if operand._vars is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            names: set = set()
+            for operand in node.operands:
+                names |= operand._vars
+            node._vars = frozenset(names)
+            stack.pop()
         return self._vars
 
     def size(self) -> int:
@@ -295,7 +311,8 @@ class Expr:
 
 
 # --------------------------------------------------------------------------
-# Interval analysis over expressions (used by the solver's fast path).
+# Interval analysis over expressions (used by the solver's fast path and by
+# the branch-and-prune search, which re-runs it under per-variable bounds).
 # --------------------------------------------------------------------------
 def unsigned_interval(expr: Expr) -> Tuple[int, int]:
     """A conservative [low, high] unsigned interval for ``expr`` assuming all
@@ -303,16 +320,81 @@ def unsigned_interval(expr: Expr) -> Tuple[int, int]:
 
     Memoized per interned node: thanks to hash-consing the interval of a
     subexpression is computed once per process, not once per solver query.
+    Iterative over the persistent memo, so a cold deep dependent chain
+    does not hit the recursion limit.
     """
     cached = expr._interval
     if cached is not None:
         return cached
-    result = _unsigned_interval_uncached(expr)
-    expr._interval = result
-    return result
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack[-1]
+        if node._interval is not None:
+            stack.pop()
+            continue
+        pending = [operand for operand in node.operands
+                   if operand._interval is None]
+        if pending:
+            stack.extend(pending)
+            continue
+        node._interval = _interval_transfer(node, _memoized_interval)
+        stack.pop()
+    return expr._interval
 
 
-def _unsigned_interval_uncached(expr: Expr) -> Tuple[int, int]:
+def _memoized_interval(node: Expr) -> Tuple[int, int]:
+    """Child accessor for :func:`unsigned_interval`'s bottom-up walk (every
+    operand's interval is already in the per-node memo)."""
+    return node._interval
+
+
+def bounded_interval(expr: Expr,
+                     bounds: Dict[str, Tuple[int, int]]) -> Tuple[int, int]:
+    """A conservative [low, high] unsigned interval for ``expr`` given
+    per-variable bounds (the branch-and-prune search's box).
+
+    Variables missing from ``bounds`` fall back to their full range.  Not
+    memoized on the node (the answer depends on the box); shared
+    subexpressions are still computed once per call via a local memo.  The
+    walk is iterative, like :meth:`Expr.evaluate`, so deep dependent
+    chains do not hit the recursion limit.
+    """
+    memo: Dict[Expr, Tuple[int, int]] = {}
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        if node.op is ExprOp.VAR:
+            memo[node] = bounds.get(node.name) or (0, mask(node.width))
+            stack.pop()
+            continue
+        pending = [operand for operand in node.operands
+                   if operand not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        memo[node] = _interval_transfer(node, memo.__getitem__)
+        stack.pop()
+    return memo[expr]
+
+
+def _signed_bounds(low: int, high: int, width: int
+                   ) -> Optional[Tuple[int, int]]:
+    """The signed range of an unsigned interval, or None when the interval
+    crosses the sign boundary (so its signed image is not an interval)."""
+    half = 1 << (width - 1)
+    if high < half:
+        return (low, high)
+    if low >= half:
+        return (low - (1 << width), high - (1 << width))
+    return None
+
+
+def _interval_transfer(expr: Expr, child) -> Tuple[int, int]:
+    """One transfer step: the interval of ``expr`` from its operands'
+    intervals, obtained via ``child(operand)``."""
     op = expr.op
     full = (0, mask(expr.width))
     if op is ExprOp.CONST:
@@ -320,16 +402,21 @@ def _unsigned_interval_uncached(expr: Expr) -> Tuple[int, int]:
     if op is ExprOp.VAR:
         return full
     if op is ExprOp.ZEXT:
-        return unsigned_interval(expr.operands[0])
+        return child(expr.operands[0])
     if op is ExprOp.ITE:
-        low1, high1 = unsigned_interval(expr.operands[1])
-        low2, high2 = unsigned_interval(expr.operands[2])
+        cond_low, cond_high = child(expr.operands[0])
+        if cond_low >= 1:
+            return child(expr.operands[1])
+        if cond_high == 0:
+            return child(expr.operands[2])
+        low1, high1 = child(expr.operands[1])
+        low2, high2 = child(expr.operands[2])
         return (min(low1, low2), max(high1, high2))
     if op in COMPARISON_OPS:
         # The comparison's own value is a boolean; try to decide it from the
         # operand intervals.
-        lhs_low, lhs_high = unsigned_interval(expr.operands[0])
-        rhs_low, rhs_high = unsigned_interval(expr.operands[1])
+        lhs_low, lhs_high = child(expr.operands[0])
+        rhs_low, rhs_high = child(expr.operands[1])
         if op is ExprOp.ULT:
             if lhs_high < rhs_low:
                 return (1, 1)
@@ -350,60 +437,82 @@ def _unsigned_interval_uncached(expr: Expr) -> Tuple[int, int]:
                 return (1, 1)
             if lhs_low == lhs_high == rhs_low == rhs_high:
                 return (0, 0)
+        elif op in (ExprOp.SLT, ExprOp.SLE):
+            # Decidable when neither operand interval crosses the sign
+            # boundary: the unsigned->signed map is then monotone.
+            operand_width = expr.operands[0].width
+            lhs_signed = _signed_bounds(lhs_low, lhs_high, operand_width)
+            rhs_signed = _signed_bounds(rhs_low, rhs_high, operand_width)
+            if lhs_signed is not None and rhs_signed is not None:
+                if op is ExprOp.SLT:
+                    if lhs_signed[1] < rhs_signed[0]:
+                        return (1, 1)
+                    if lhs_signed[0] >= rhs_signed[1]:
+                        return (0, 0)
+                else:
+                    if lhs_signed[1] <= rhs_signed[0]:
+                        return (1, 1)
+                    if lhs_signed[0] > rhs_signed[1]:
+                        return (0, 0)
         return (0, 1)
     if op is ExprOp.AND:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
         return (0, min(high1, high2))
     if op is ExprOp.OR:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
         bits = max(high1.bit_length(), high2.bit_length())
         return (max(low1, low2), min(mask(expr.width),
                                      (1 << bits) - 1 if bits else 0))
     if op is ExprOp.XOR:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
+        if expr.width == 1 and low2 == high2:
+            # Boolean negation (xor 1) / identity (xor 0) stays decided.
+            if low2 == 1:
+                return (1 - high1, 1 - low1)
+            return (low1, high1)
         bits = max(high1.bit_length(), high2.bit_length())
         return (0, min(mask(expr.width), (1 << bits) - 1 if bits else 0))
     if op is ExprOp.ADD:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
         if high1 + high2 <= mask(expr.width):
             return (low1 + low2, high1 + high2)
         return full
     if op is ExprOp.SUB:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
         # Sound only when no value pair can wrap below zero.
         if low1 >= high2:
             return (low1 - high2, high1 - low2)
         return full
     if op is ExprOp.MUL:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
         if high1 * high2 <= mask(expr.width):
             return (low1 * low2, high1 * high2)
         return full
     if op is ExprOp.SHL:
-        low1, high1 = unsigned_interval(expr.operands[0])
-        low2, high2 = unsigned_interval(expr.operands[1])
+        low1, high1 = child(expr.operands[0])
+        low2, high2 = child(expr.operands[1])
         # The shift amount is taken modulo the width; only predictable when
         # the whole rhs interval stays below it and nothing can overflow.
         if high2 < expr.width and (high1 << high2) <= mask(expr.width):
             return (low1 << low2, high1 << high2)
         return full
     if op is ExprOp.LSHR:
-        low1, high1 = unsigned_interval(expr.operands[0])
+        low1, high1 = child(expr.operands[0])
         return (0, high1)
     if op is ExprOp.TRUNC:
-        low1, high1 = unsigned_interval(expr.operands[0])
+        low1, high1 = child(expr.operands[0])
         if high1 <= mask(expr.width):
             return (low1, high1)
         return full
     if op is ExprOp.SEXT:
         inner = expr.operands[0]
-        low1, high1 = unsigned_interval(inner)
+        low1, high1 = child(inner)
         half = 1 << (inner.width - 1)
         if high1 < half:
             # Never negative: sign extension is zero extension.

@@ -139,12 +139,20 @@ class SymbolicMemory:
         """Store ``value`` (an expression of width 8*size) little-endian."""
         self._check(address, size, write=True)
         self._own_bytes()
+        if size == 1:
+            # extract_byte(value, 0) of a width-8 value is the value.
+            self.bytes[address] = value if value.width == 8 \
+                else extract_byte(value, 0)
+            return
         for i in range(size):
             self.bytes[address + i] = extract_byte(value, i)
 
     def load(self, address: int, size: int) -> Expr:
         """Load ``size`` bytes little-endian as one expression."""
         self._check(address, size, write=False)
+        if size == 1:
+            # Single bytes are stored whole; no reassembly to do.
+            return self.bytes.get(address) or const(8, 0)
         parts = [self.bytes.get(address + i, const(8, 0)) for i in range(size)]
         whole = _reassemble_stored_value(parts, size)
         if whole is not None:

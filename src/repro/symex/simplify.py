@@ -24,6 +24,9 @@ _VAR_CACHE_LIMIT = 4096
 
 
 def const(width: int, value: int) -> Expr:
+    # Mask before keying so aliases of one constant (e.g. 256 and 0 at
+    # width 8) share a single cache slot, as they share an interned node.
+    value &= mask(width)
     key = (width, value)
     expr = _CONST_CACHE.get(key)
     if expr is None:
@@ -168,6 +171,14 @@ def binary(op: ExprOp, lhs: Expr, rhs: Expr) -> Expr:
     return Expr(op, width, (lhs, rhs))
 
 
+#: not (a < b)  ->  b <= a, etc.: negating an ordered comparison flips the
+#: operator *and* swaps the operands, keeping constraints in comparison form
+#: (where the interval fast path and branch-and-prune can decide them)
+#: instead of wrapping them in an opaque ``xor 1``.
+_ORDER_NEGATIONS = {ExprOp.ULT: ExprOp.ULE, ExprOp.ULE: ExprOp.ULT,
+                    ExprOp.SLT: ExprOp.SLE, ExprOp.SLE: ExprOp.SLT}
+
+
 def not_expr(operand: Expr) -> Expr:
     """Logical negation of a width-1 expression."""
     assert operand.width == 1
@@ -180,6 +191,9 @@ def not_expr(operand: Expr) -> Expr:
     negations = {ExprOp.EQ: ExprOp.NE, ExprOp.NE: ExprOp.EQ}
     if operand.op in negations:
         return Expr(negations[operand.op], 1, operand.operands)
+    if operand.op in _ORDER_NEGATIONS:
+        return Expr(_ORDER_NEGATIONS[operand.op], 1,
+                    (operand.operands[1], operand.operands[0]))
     return binary(ExprOp.XOR, operand, const(1, 1))
 
 
@@ -234,6 +248,81 @@ def ite(condition: Expr, then: Expr, otherwise: Expr) -> Expr:
         if then.value == 0 and otherwise.value == 1:
             return not_expr(condition)
     return Expr(ExprOp.ITE, then.width, (condition, then, otherwise))
+
+
+def rebuild(op: ExprOp, width: int, operands: Tuple[Expr, ...]) -> Expr:
+    """Re-apply the smart constructor for ``op`` to new operands, so that a
+    transformed expression gets the same folding/canonicalization as a
+    freshly built one."""
+    if op is ExprOp.ZEXT:
+        return zext(operands[0], width)
+    if op is ExprOp.SEXT:
+        return sext(operands[0], width)
+    if op is ExprOp.TRUNC:
+        return trunc(operands[0], width)
+    if op is ExprOp.NOT:
+        return bitwise_not(operands[0])
+    if op is ExprOp.ITE:
+        return ite(operands[0], operands[1], operands[2])
+    return binary(op, operands[0], operands[1])
+
+
+def substitute(expr: Expr, mapping: Dict[Expr, Expr],
+               key_variables: Optional[frozenset] = None) -> Expr:
+    """Replace whole subexpressions throughout ``expr``.
+
+    ``mapping`` sends interned nodes to their replacements — hash-consing
+    makes the occurrence check a dict lookup, so a ``var == const`` mapping
+    and a ``complex-expr == const`` mapping cost the same.  Matching is
+    top-down (an enclosing match wins over matches inside it) and rebuilt
+    nodes are re-checked, with every touched node going through the smart
+    constructors so the result is folded and canonicalized.  This is the
+    engine of KLEE's ``--rewrite-equalities``: after ``lhs == const`` lands
+    in a path condition, substituting ``lhs -> const`` through the rest of
+    the constraint set shrinks it without changing its models.
+
+    ``key_variables`` (the union of the mapping keys' variables) prunes
+    subtrees that cannot contain any key; it is computed when not supplied,
+    so callers that keep a mapping alive should cache it.  The walk is
+    iterative, like :meth:`Expr.evaluate`, so deep dependent chains do not
+    hit the recursion limit.
+    """
+    if not mapping:
+        return expr
+    if key_variables is None:
+        key_variables = frozenset().union(
+            *(key.variables() for key in mapping))
+    memo: Dict[Expr, Expr] = {}
+    stack: list = [expr]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        replacement = mapping.get(node)
+        if replacement is not None:
+            memo[node] = replacement
+            stack.pop()
+            continue
+        if node.op is ExprOp.CONST or not (node.variables() & key_variables):
+            memo[node] = node
+            stack.pop()
+            continue
+        pending = [operand for operand in node.operands
+                   if operand not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        operands = tuple(memo[operand] for operand in node.operands)
+        if operands == node.operands:
+            result = node
+        else:
+            result = rebuild(node.op, node.width, operands)
+            # The rebuilt node may itself be a mapped expression.
+            result = mapping.get(result, result)
+        memo[node] = result
+        stack.pop()
+    return memo[expr]
 
 
 def concat_bytes(byte_exprs) -> Expr:

@@ -12,13 +12,20 @@ The solver combines, in order of increasing cost:
 3. independent-constraint decomposition (KLEE's ``--use-independent-solver``):
    constraints are partitioned by shared variables so each group is solved
    separately,
-4. a **model-reuse (counterexample) cache**: models from previously
-   satisfiable queries are tried against new queries before any search —
-   a superset query's model satisfies every subset query, and a subset
-   query's model frequently extends to the superset (KLEE's counterexample
-   cache),
+4. a **UBTree (set-trie) counterexample index** over cached results: a
+   cached UNSAT set that is a subset of the query proves it unsatisfiable, a
+   cached SAT set that is a superset hands over its model, and models of
+   cached subsets are cheap candidate assignments (KLEE's counterexample
+   cache, indexed as in Hoffmann & Koehler's UBTrees).  With the index
+   disabled, a linear scan over recent models provides the same reuse,
 5. a backtracking CSP search over the byte domains of the variables in a
-   group, with unary-constraint domain pruning and early constraint checking,
+   group, with unary-constraint domain pruning and early constraint checking;
+   groups containing **wide (>16-bit) variables** are instead solved by
+   **branch-and-prune**: the variable box is recursively split, sub-boxes
+   are pruned through :func:`~repro.symex.expr.bounded_interval`, and only
+   leaf boxes small enough to enumerate are searched concretely — a sound
+   and (budget permitting) exact decision procedure where the previous
+   sparse-domain fallback could only answer "maybe satisfiable",
 6. query caching (both full queries and per-group results, models included,
    so :meth:`Solver.get_model` never re-solves a decided query).
 
@@ -26,6 +33,11 @@ Branch feasibility uses :meth:`Solver.check_branch`, which shares work
 between the two sides of a fork: when one side is proved unsatisfiable, the
 other side follows from the satisfiability of the base path condition and
 needs no new query.
+
+Every optimization layer sits behind a :class:`SolverConfig` feature flag
+(default on) so each can be toggled and tested differentially against the
+naive configuration; ``make_backend("symex<ubtree=off>")`` reaches them from
+the pipeline syntax.
 
 The solver is complete for the expression language as long as the search
 budget is not exhausted; when it is, the query conservatively reports
@@ -36,14 +48,48 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from .expr import Expr, ExprOp, mask, unsigned_interval
+from .expr import Expr, ExprOp, bounded_interval, mask, unsigned_interval
 from .simplify import const, not_expr
+from .ubtree import UBTree
 
-#: How many recent models the model-reuse cache keeps (LRU).
+#: How many recent models the model-reuse cache keeps (LRU) when the UBTree
+#: index is disabled.
 MODEL_CACHE_SIZE = 64
+
+#: How many cached subset models the UBTree lookup tries as candidate
+#: assignments before giving up and searching.
+SUBSET_MODEL_TRIALS = 8
+
+#: A branch-and-prune box is enumerated concretely once it contains at most
+#: this many points.
+BNP_LEAF_ENUMERATION = 2048
+
+#: Interval-split budget per branch-and-prune search; exceeding it yields
+#: the conservative "maybe satisfiable" answer.
+BNP_MAX_SPLITS = 20_000
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Feature flags of the solver's optimization layers (all default on).
+
+    ``cache`` is the master switch for every caching layer; ``ubtree``,
+    ``rewrite_equalities`` and ``branch_and_prune`` gate the Solver-v2
+    layers individually so each can be differentially tested.
+    ``rewrite_equalities`` is consumed by
+    :meth:`repro.symex.state.ExecutionState.add_constraint` (the executor
+    copies it onto the states it creates).
+    """
+
+    max_assignments: int = 200_000
+    independence: bool = True
+    cache: bool = True
+    ubtree: bool = True
+    rewrite_equalities: bool = True
+    branch_and_prune: bool = True
 
 
 @dataclass
@@ -65,6 +111,16 @@ class SolverStats:
     branch_checks: int = 0
     #: Branch sides answered for free from the other side's UNSAT proof.
     branch_sides_free: int = 0
+    #: Group queries answered by the UBTree counterexample index (UNSAT
+    #: subset, SAT superset, or a subset model that extended).
+    ubtree_hits: int = 0
+    #: UBTree lookups that fell through to a search.
+    ubtree_misses: int = 0
+    #: Constraints rewritten against an equality at ``add_constraint`` time
+    #: (counted by the execution states sharing this stats object).
+    equality_rewrites: int = 0
+    #: Interval splits performed by branch-and-prune searches.
+    prune_splits: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return asdict(self)
@@ -84,22 +140,48 @@ class SolverResult:
 class Solver:
     """A small, self-contained constraint solver for bitvector conjunctions."""
 
-    def __init__(self, max_assignments: int = 200_000,
-                 enable_independence: bool = True,
-                 enable_cache: bool = True) -> None:
-        self.max_assignments = max_assignments
-        self.enable_independence = enable_independence
-        #: Gates all caching layers: the full-query cache, the per-group
-        #: cache, and the model-reuse cache.
-        self.enable_cache = enable_cache
+    def __init__(self, max_assignments: Optional[int] = None,
+                 enable_independence: Optional[bool] = None,
+                 enable_cache: Optional[bool] = None,
+                 config: Optional[SolverConfig] = None) -> None:
+        config = config or SolverConfig()
+        if max_assignments is not None:
+            config = replace(config, max_assignments=max_assignments)
+        if enable_independence is not None:
+            config = replace(config, independence=enable_independence)
+        if enable_cache is not None:
+            config = replace(config, cache=enable_cache)
+        self.config = config
         self.stats = SolverStats()
         self._cache: Dict[FrozenSet[Expr], SolverResult] = {}
         self._group_cache: Dict[FrozenSet[Expr], SolverResult] = {}
-        #: Recently used satisfying assignments, most recent first.
+        #: Recently used satisfying assignments, most recent first (the
+        #: linear model-reuse scan used when the UBTree is disabled).
         self._models: List[Dict[str, int]] = []
+        #: UBTree indices of the counterexample cache: constraint sets of
+        #: exact SAT group answers (payload: their model) and of exact
+        #: UNSAT group answers (payload: True).
+        self._sat_index = UBTree()
+        self._unsat_index = UBTree()
         #: Unary constraint -> frozenset of satisfying variable values.
         #: Hash-consing makes the constraint expression itself the key.
         self._unary_sat: Dict[Tuple[Expr, int], FrozenSet[int]] = {}
+
+    # The pre-SolverConfig attribute spellings, kept as read-only views so
+    # the flag state has a single source of truth (``self.config``).
+    @property
+    def max_assignments(self) -> int:
+        return self.config.max_assignments
+
+    @property
+    def enable_independence(self) -> bool:
+        return self.config.independence
+
+    @property
+    def enable_cache(self) -> bool:
+        """Gates all caching layers: the full-query cache, the per-group
+        cache, and the counterexample caches (UBTree or linear)."""
+        return self.config.cache
 
     # ------------------------------------------------------------------ API
     def check(self, constraints: Sequence[Expr]) -> SolverResult:
@@ -120,17 +202,18 @@ class Solver:
         result = self.check(constraints)
         if not result.satisfiable:
             return None
-        model = result.model
-        if model is None:
-            # Only inexact answers (budget-exhausted or sparse wide-variable
-            # domains) carry no model; every cached or fast-path decision
-            # stores one.  Re-searching would deterministically repeat the
-            # same bounded search, so report "no witness" directly.
+        if not result.exact or result.model is None:
+            # "Maybe satisfiable" (budget-exhausted) answers carry no
+            # trustworthy witness: independent groups that did decide may
+            # have contributed a partial model, but completing it would
+            # fabricate values for the undecided group's variables.
+            # Re-searching would deterministically repeat the same bounded
+            # search, so report "no witness" directly.
             return None
         # Constraints dropped by the interval fast path hold under *any*
         # assignment, so completing with zeros keeps the model satisfying
         # while covering every variable of the query.
-        completed = dict(model)
+        completed = dict(result.model)
         for constraint in constraints:
             for name in constraint.variables():
                 if name not in completed:
@@ -275,22 +358,81 @@ class Solver:
             if cached is not None:
                 self.stats.cache_hits += 1
                 return cached
-            reused = self._try_model_reuse(constraints)
-            if reused is not None:
-                result = SolverResult(True, model=reused)
-                self._group_cache[group_key] = result
-                return result
+            if self.config.ubtree:
+                result = self._ubtree_lookup(constraints)
+                if result is not None:
+                    self._group_cache[group_key] = result
+                    return result
+            else:
+                reused = self._try_model_reuse(constraints)
+                if reused is not None:
+                    result = SolverResult(True, model=reused)
+                    self._group_cache[group_key] = result
+                    return result
         result = self._solve_group_uncached(constraints)
         if self.enable_cache and result.exact:
             self._group_cache[group_key] = result
-            if result.satisfiable and result.model:
+            if self.config.ubtree:
+                if result.satisfiable:
+                    if result.model:
+                        self._sat_index.insert(constraints,
+                                               dict(result.model))
+                else:
+                    self._unsat_index.insert(constraints, True)
+            elif result.satisfiable and result.model:
                 self._remember_model(result.model)
         return result
 
     # ---------------------------------------------------------- model reuse
+    def _ubtree_lookup(self, constraints: List[Expr]
+                       ) -> Optional[SolverResult]:
+        """Answer a group query from the UBTree counterexample index.
+
+        Three containment rules, in order of strength: a cached UNSAT set
+        contained in the query proves UNSAT; a cached SAT superset's model
+        satisfies every queried constraint outright; a cached SAT subset's
+        model satisfies part of the query by construction and is tried as a
+        candidate for the rest (unmentioned variables default to zero).
+        """
+        if self._unsat_index.find_subset(constraints) is not None:
+            self.stats.ubtree_hits += 1
+            return SolverResult(False)
+        variables: set = set()
+        for constraint in constraints:
+            variables |= constraint.variables()
+        superset_model = self._sat_index.find_superset(constraints)
+        if superset_model is not None:
+            self.stats.ubtree_hits += 1
+            self.stats.model_cache_hits += 1
+            candidate = {name: superset_model.get(name, 0)
+                         for name in variables}
+            return SolverResult(True, model=candidate)
+        for trial, model in enumerate(
+                self._sat_index.iter_subsets(constraints)):
+            if trial >= SUBSET_MODEL_TRIALS:
+                break
+            candidate = {name: model.get(name, 0) for name in variables}
+            if all(c.evaluate(candidate) == 1 for c in constraints):
+                self.stats.ubtree_hits += 1
+                self.stats.model_cache_hits += 1
+                return SolverResult(True, model=candidate)
+        # The all-zeros assignment is the cache's implicit first entry: it
+        # is what every cached model defaults unmentioned variables to, so
+        # trying it keeps the disjoint-variable hits the linear scan got
+        # from zero-extending unrelated models.  It is not a set-trie
+        # lookup, so it counts as a model-cache hit only — ``ubtree_hits``
+        # measures genuine containment hits.
+        zeros = dict.fromkeys(variables, 0)
+        if all(c.evaluate(zeros) == 1 for c in constraints):
+            self.stats.model_cache_hits += 1
+            return SolverResult(True, model=zeros)
+        self.stats.ubtree_misses += 1
+        return None
+
     def _try_model_reuse(self, constraints: List[Expr]
                          ) -> Optional[Dict[str, int]]:
-        """Try recently seen models against the query before searching.
+        """Try recently seen models against the query before searching (the
+        linear scan used when the UBTree index is disabled).
 
         A hit covers both cache directions at once: the model of a superset
         query trivially satisfies a subset query, and a subset query's model
@@ -330,6 +472,10 @@ class Solver:
         widths: Dict[str, int] = {}
         for constraint in constraints:
             self._collect_widths(constraint, widths)
+
+        if self.config.branch_and_prune and \
+                any(widths.get(name, 8) > 16 for name in variables):
+            return self._branch_and_prune(constraints, variables, widths)
 
         # Unary-constraint domain pruning.
         domains: Dict[str, List[int]] = {}
@@ -414,6 +560,86 @@ class Solver:
             return SolverResult(True, model=None, exact=False)
         return SolverResult(False)
 
+    # ------------------------------------------------------ branch-and-prune
+    def _branch_and_prune(self, constraints: List[Expr],
+                          variables: List[str],
+                          widths: Dict[str, int]) -> SolverResult:
+        """Interval branch-and-prune for groups with wide (>16-bit)
+        variables, replacing the inexact sparse-domain fallback.
+
+        The search maintains a box of per-variable intervals.  At each box
+        every constraint is evaluated in interval arithmetic
+        (:func:`bounded_interval`): a constraint whose interval is exactly 0
+        prunes the box, a box where every constraint's interval is exactly 1
+        yields a model immediately, and boxes small enough are enumerated
+        concretely.  Otherwise the widest interval is split at its midpoint
+        and both halves are searched.  Interval arithmetic is conservative,
+        so pruning never loses a solution: an UNSAT answer is exact unless
+        the split/assignment budget ran out, in which case the result is
+        the conservative "maybe satisfiable".
+        """
+        box = {name: (0, mask(widths.get(name, 8))) for name in variables}
+        budget = [self.max_assignments]
+        splits = [BNP_MAX_SPLITS]
+        exhausted = [False]
+
+        def enumerate_box(current: Dict[str, Tuple[int, int]],
+                          undecided: List[Expr]
+                          ) -> Optional[Dict[str, int]]:
+            names = list(current)
+            ranges = [range(low, high + 1) for low, high in current.values()]
+            for point in itertools.product(*ranges):
+                if budget[0] <= 0:
+                    exhausted[0] = True
+                    return None
+                budget[0] -= 1
+                self.stats.assignments_tried += 1
+                assignment = dict(zip(names, point))
+                if all(c.evaluate(assignment) == 1 for c in undecided):
+                    return assignment
+            return None
+
+        def search(current: Dict[str, Tuple[int, int]]
+                   ) -> Optional[Dict[str, int]]:
+            undecided: List[Expr] = []
+            for constraint in constraints:
+                low, high = bounded_interval(constraint, current)
+                if high == 0:
+                    return None  # no point of this box can satisfy it
+                if low == 0:
+                    undecided.append(constraint)
+            if not undecided:
+                # Every constraint holds on the whole box: any corner works.
+                return {name: low for name, (low, _) in current.items()}
+            points = 1
+            for low, high in current.values():
+                points *= high - low + 1
+                if points > BNP_LEAF_ENUMERATION:
+                    break
+            if points <= BNP_LEAF_ENUMERATION:
+                return enumerate_box(current, undecided)
+            if splits[0] <= 0 or budget[0] <= 0:
+                exhausted[0] = True
+                return None
+            splits[0] -= 1
+            self.stats.prune_splits += 1
+            name = max(current, key=lambda n: current[n][1] - current[n][0])
+            low, high = current[name]
+            mid = (low + high) // 2
+            for half in ((low, mid), (mid + 1, high)):
+                result = search({**current, name: half})
+                if result is not None:
+                    return result
+            return None
+
+        model = search(box)
+        if model is not None:
+            return SolverResult(True, model=model)
+        if exhausted[0]:
+            self.stats.unknown_results += 1
+            return SolverResult(True, model=None, exact=False)
+        return SolverResult(False)
+
     @staticmethod
     def _constant_seeds(constraints: List[Expr]) -> FrozenSet[int]:
         """Every constant value appearing in the constraint expressions
@@ -430,16 +656,44 @@ class Solver:
     def _unary_satisfying_values(self, constraint: Expr, name: str,
                                  width: int) -> FrozenSet[int]:
         """The set of values of ``name`` satisfying a single-variable
-        constraint, enumerated once per unique (interned) constraint and
-        cached for every later query that mentions it."""
+        constraint, built once per unique (interned) constraint and cached
+        for every later query that mentions it.
+
+        Construction is a one-dimensional branch-and-prune rather than a
+        full-domain sweep: a subrange the interval transfer decides is
+        accepted or rejected wholesale without evaluating a single point,
+        and only undecidable leaves are enumerated concretely."""
         key = (constraint, width)
         cached = self._unary_sat.get(key)
-        if cached is None:
-            evaluate = constraint.evaluate
-            cached = frozenset(value for value in range(mask(width) + 1)
-                               if evaluate({name: value}) == 1)
-            self.stats.assignments_tried += mask(width) + 1
-            self._unary_sat[key] = cached
+        if cached is not None:
+            return cached
+        values: List[int] = []
+        evaluate = constraint.evaluate
+        tried = 0
+
+        def collect(low_value: int, high_value: int) -> None:
+            nonlocal tried
+            low, high = bounded_interval(constraint,
+                                         {name: (low_value, high_value)})
+            if high == 0:
+                return
+            if low >= 1:
+                values.extend(range(low_value, high_value + 1))
+                return
+            if high_value - low_value < 16:
+                for value in range(low_value, high_value + 1):
+                    tried += 1
+                    if evaluate({name: value}) == 1:
+                        values.append(value)
+                return
+            mid = (low_value + high_value) // 2
+            collect(low_value, mid)
+            collect(mid + 1, high_value)
+
+        collect(0, mask(width))
+        self.stats.assignments_tried += tried
+        cached = frozenset(values)
+        self._unary_sat[key] = cached
         return cached
 
     @staticmethod

@@ -8,6 +8,19 @@ query only needs the groups that share variables with the branch condition
 (:meth:`relevant_constraints`), which keeps solver queries proportional to
 the coupled part of the path condition instead of its whole length.
 
+When ``rewrite_equalities`` is on (KLEE's ``--rewrite-equalities``,
+:class:`~repro.symex.solver.SolverConfig` flag), :meth:`add_constraint`
+additionally **rewrites the path condition against equalities**: a new
+``lhs == const`` constraint (``lhs`` any expression — hash-consing makes
+subtree occurrence checks O(1)) or ``var == var`` constraint is
+substituted through the other constraints of its group, and every later
+constraint is substituted against all recorded equalities on arrival.  The
+equality itself is kept, so the rewritten state is *equivalent* — same
+models — while its groups shrink, more branch queries fold to constants,
+and the solver's cache keys get smaller and more reusable.  Both forms of
+the path condition (flat list and groups) are rewritten in lockstep,
+preserving the partition invariant.
+
 Forking is copy-on-write throughout: stack frames share their SSA binding
 dicts until one side writes, the symbolic memory shares its byte dict the
 same way, and the constraint groups are immutable tuples shared by
@@ -22,8 +35,9 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..interp.errors import ProgramError
 from ..ir import Argument, BasicBlock, Function, Instruction, Value
-from .expr import Expr
+from .expr import Expr, ExprOp
 from .memory import SymbolicMemory
+from .simplify import substitute
 
 
 class StateStatus(enum.Enum):
@@ -82,7 +96,9 @@ class ExecutionState:
 
     _next_id = 0
 
-    def __init__(self, memory: Optional[SymbolicMemory] = None) -> None:
+    def __init__(self, memory: Optional[SymbolicMemory] = None,
+                 rewrite_equalities: bool = True,
+                 solver_stats: Optional[object] = None) -> None:
         ExecutionState._next_id += 1
         self.state_id = ExecutionState._next_id
         self.stack: List[StackFrame] = []
@@ -94,8 +110,23 @@ class ExecutionState:
         self._groups: Dict[str, Tuple[FrozenSet[str], Tuple[Expr, ...]]] = {}
         #: Variable name -> representative (key into ``_groups``).
         self._var_group: Dict[str, str] = {}
-        #: Variable-free constraints (only a literal false ever lands here).
+        #: Variable-free constraints (a literal false, or a constraint that
+        #: equality rewriting folded to one).
         self._varfree: Tuple[Expr, ...] = ()
+        #: KLEE's --rewrite-equalities (see the module docstring).
+        self.rewrite_equalities = rewrite_equalities
+        #: Substitution recorded from ``lhs == const`` / ``var == var``
+        #: path constraints: interned expression -> replacement.  Kept
+        #: canonical (values never contain a mapped expression).
+        self._rewrites: Dict[Expr, Expr] = {}
+        #: Union of the variables of the mapping's keys (the quick
+        #: can-this-expression-be-affected check for ``substitute``).
+        self._rewrite_vars: FrozenSet[str] = frozenset()
+        #: Rewrites applied on this path (cumulative across forks).
+        self.rewrites_applied = 0
+        #: Shared :class:`~repro.symex.solver.SolverStats` to aggregate
+        #: ``equality_rewrites`` into (attached by the executor).
+        self._solver_stats = solver_stats
         self.status = StateStatus.RUNNING
         self.error: Optional[ProgramError] = None
         self.return_value: Optional[Expr] = None
@@ -129,12 +160,16 @@ class ExecutionState:
         Copy-on-write: frames and memory share structure with the clone
         until either side writes.
         """
-        clone = ExecutionState(self.memory.fork())
+        clone = ExecutionState(self.memory.fork(), self.rewrite_equalities,
+                               self._solver_stats)
         clone.stack = [frame.fork() for frame in self.stack]
         clone.constraints = list(self.constraints)
         clone._groups = dict(self._groups)
         clone._var_group = dict(self._var_group)
         clone._varfree = self._varfree
+        clone._rewrites = dict(self._rewrites)
+        clone._rewrite_vars = self._rewrite_vars
+        clone.rewrites_applied = self.rewrites_applied
         clone.status = self.status
         clone.instructions_executed = self.instructions_executed
         clone.depth = self.depth
@@ -142,6 +177,13 @@ class ExecutionState:
         return clone
 
     def add_constraint(self, constraint: Expr) -> None:
+        if self.rewrite_equalities and self._rewrites and \
+                (constraint.variables() & self._rewrite_vars):
+            rewritten = substitute(constraint, self._rewrites,
+                                   self._rewrite_vars)
+            if rewritten is not constraint:
+                self._count_rewrites(1)
+                constraint = rewritten
         if constraint.is_true:
             return
         self.constraints.append(constraint)
@@ -159,11 +201,114 @@ class ExecutionState:
             merged_vars |= group_vars
             merged_constraints.extend(group_constraints)
         merged_constraints.append(constraint)
+        if self.rewrite_equalities:
+            merged_constraints = self._rewrite_group(constraint,
+                                                     merged_constraints)
         representative = min(merged_vars)
         self._groups[representative] = (frozenset(merged_vars),
                                         tuple(merged_constraints))
         for name in merged_vars:
             self._var_group[name] = representative
+
+    # ------------------------------------------------------ equality rewrite
+    @staticmethod
+    def _equality_substitution(constraint: Expr
+                               ) -> Optional[Tuple[Expr, Expr]]:
+        """The substitution an equality induces: (expression to replace,
+        replacement), or None.
+
+        ``lhs == const`` replaces the whole left-hand expression by the
+        constant (thanks to hash-consing the occurrence check costs one
+        dict lookup whatever the shape of ``lhs``); ``var == var``
+        replaces the lexicographically larger variable by the smaller,
+        matching the group-representative convention."""
+        if constraint.op is not ExprOp.EQ:
+            return None
+        lhs, rhs = constraint.operands
+        if rhs.op is ExprOp.CONST and lhs.op is not ExprOp.CONST:
+            return (lhs, rhs)
+        if lhs.op is ExprOp.CONST and rhs.op is not ExprOp.CONST:
+            return (rhs, lhs)
+        if lhs.op is ExprOp.VAR and rhs.op is ExprOp.VAR and \
+                lhs.name != rhs.name:
+            if lhs.name < rhs.name:
+                return (rhs, lhs)
+            return (lhs, rhs)
+        return None
+
+    def _rewrite_group(self, constraint: Expr,
+                       merged: List[Expr]) -> List[Expr]:
+        """If the just-added ``constraint`` is an equality, substitute it
+        through the other constraints of its (merged) group and record it
+        for future additions.  The flat ``constraints`` list is rewritten in
+        lockstep, so both forms of the path condition stay equivalent and
+        the partition invariant is preserved.  The equality itself is kept,
+        making the rewritten state equivalent to (not merely equisatisfiable
+        with) the unrewritten one."""
+        entry = self._equality_substitution(constraint)
+        if entry is None:
+            return merged
+        key, replacement = entry
+        mapping = {key: replacement}
+        key_vars = key.variables()
+        # Keep the recorded substitution canonical: values never contain a
+        # mapped expression, so one substitution pass is always enough.
+        # (The incoming constraint was itself already rewritten, so its
+        # left-hand side cannot contain a previously mapped expression.)
+        self._rewrites = {old_key: substitute(value, mapping, key_vars)
+                          for old_key, value in self._rewrites.items()}
+        self._rewrites[key] = replacement
+        self._rewrite_vars = self._rewrite_vars | key_vars
+        rewritten_group: List[Expr] = []
+        #: id(old constraint) -> replacement (None: dropped as trivial).
+        replaced: Dict[int, Optional[Expr]] = {}
+        changed = 0
+        for member in merged:
+            if member is constraint:
+                rewritten_group.append(member)
+                continue
+            rewritten = substitute(member, mapping, key_vars)
+            if rewritten is member:
+                rewritten_group.append(member)
+                continue
+            changed += 1
+            if rewritten.is_true:
+                replaced[id(member)] = None
+            elif not rewritten.variables():
+                # Folded to a variable-free constant (a literal false):
+                # route it to ``_varfree`` like an arriving one, so the
+                # contradiction is visible to queries on any variable.
+                replaced[id(member)] = rewritten
+                self._varfree = self._varfree + (rewritten,)
+            else:
+                replaced[id(member)] = rewritten
+                rewritten_group.append(rewritten)
+        if changed:
+            self._count_rewrites(changed)
+            self.constraints = [
+                new for new in
+                (replaced.get(id(old), old) for old in self.constraints)
+                if new is not None
+            ]
+        return rewritten_group
+
+    def rewrite(self, expr: Expr) -> Expr:
+        """``expr`` with the state's recorded equalities substituted in
+        (the identity when rewriting is off or nothing overlaps).  The
+        executor runs branch conditions, switch scrutinees, divisors and
+        addresses through this before querying the solver, so queries the
+        path condition already decides fold to constants and never reach
+        it."""
+        if not (self.rewrite_equalities and self._rewrites) or \
+                not (expr.variables() & self._rewrite_vars):
+            return expr
+        return substitute(expr, self._rewrites, self._rewrite_vars)
+
+    def _count_rewrites(self, count: int) -> None:
+        self.rewrites_applied += count
+        stats = self._solver_stats
+        if stats is not None:
+            stats.equality_rewrites += count
 
     def relevant_constraints(self, expr: Expr) -> List[Expr]:
         """The subset of the path condition that can influence ``expr``:

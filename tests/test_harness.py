@@ -71,6 +71,23 @@ class TestTable1:
         assert table.results[OptLevel.OVERIFY].compile_seconds >= \
             table.results[OptLevel.O0].compile_seconds
 
+    def test_solver_v2_counters_reach_the_table(self, table):
+        """The Solver-v2 counters flow through ``SolverStats.as_dict`` into
+        the rendered rows, and the wc workload actually drives the UBTree
+        index and the equality rewriter (branch-and-prune stays idle: wc
+        has no wide symbolic variables, so its row must render as zero)."""
+        text = table.render()
+        for label in ("# ubtree hits", "# equality rewrites",
+                      "# prune splits"):
+            assert label in text
+        total = {key: sum(int(result.solver_stats.get(key, 0))
+                          for result in table.results.values())
+                 for key in ("ubtree_hits", "equality_rewrites",
+                             "prune_splits")}
+        assert total["ubtree_hits"] > 0
+        assert total["equality_rewrites"] > 0
+        assert total["prune_splits"] == 0
+
 
 class TestTable3:
     @pytest.fixture(scope="class")
@@ -101,8 +118,13 @@ class TestFigure4:
     def figure(self):
         workloads = [get_workload(name) for name in
                      ("echo", "grep", "od", "wc", "tr", "head")]
-        return reproduce_figure4(symbolic_input_bytes=3, timeout_seconds=30,
-                                 max_instructions=400_000,
+        # 4 symbolic bytes (was 3): the Solver-v2 stack made -O0
+        # verification fast enough that 3-byte runs are compile-dominated,
+        # which washes out the paper-shape ratios this class asserts.  One
+        # more byte keeps the experiment verification-dominated, like the
+        # benchmark suite's SYMBOLIC_INPUT_BYTES.
+        return reproduce_figure4(symbolic_input_bytes=4, timeout_seconds=30,
+                                 max_instructions=800_000,
                                  workloads=workloads)
 
     def test_every_program_measured_at_every_level(self, figure):
@@ -126,6 +148,15 @@ class TestFigure4:
         text = figure.render()
         assert "mean reduction vs -O3" in text
         assert "Figure 4" in text
+
+    def test_solver_v2_counters_reach_the_summary(self, figure):
+        text = figure.render()
+        for label in ("solver ubtree hits (sweep total)",
+                      "solver equality rewrites (sweep total)",
+                      "solver prune splits (sweep total)"):
+            assert label in text
+        assert figure.solver_stat_total("ubtree_hits") > 0
+        assert figure.solver_stat_total("equality_rewrites") > 0
 
 
 class TestTable2Ablation:
