@@ -38,6 +38,30 @@ print(f"verified {len(all_workloads())} workloads x {len(levels)} levels; "
 PY
 
 echo
+echo "== docs gate: every docs/*.md referenced from README, no dead links =="
+python scripts/check_docs.py
+
+echo
+echo "== parallel exploration smoke: workers=4 must match workers=1 =="
+python - <<'PY'
+from repro.pipelines import CompileOptions, OptLevel, compile_source
+from repro.verification import VerificationRequest, make_backend
+from repro.workloads import get_workload
+
+request = VerificationRequest(symbolic_input_bytes=3, timeout_seconds=120.0)
+for name in ("wc", "buggy_div"):
+    compiled = compile_source(get_workload(name).source,
+                              CompileOptions(level=OptLevel.O1))
+    single = make_backend("symex").verify(compiled.module, request)
+    pooled = make_backend("symex<workers=4>").verify(compiled.module, request)
+    for field in ("paths", "errors", "instructions", "bug_signatures"):
+        assert getattr(single, field) == getattr(pooled, field), \
+            f"{name}: workers=4 diverged on {field}"
+    print(f"{name}: workers=4 == workers=1 "
+          f"({single.paths} paths, {single.errors} errors)")
+PY
+
+echo
 echo "== solver differential-matrix smoke (reduced query counts) =="
 # Full counts (1200 queries + 8x500 matrix + 300 wide) stay the default
 # for a plain `python -m pytest`; the gate runs the same matrix reduced.

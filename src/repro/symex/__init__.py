@@ -8,16 +8,20 @@ from .simplify import (
     not_expr, rebuild, sext, substitute, true_expr, trunc, var, zext,
 )
 from .memory import SymbolicMemory, SymbolicMemoryObject
-from .solver import Solver, SolverConfig, SolverResult, SolverStats
+from .solver import (
+    SharedSolverCaches, Solver, SolverConfig, SolverResult, SolverStats,
+)
 from .ubtree import UBTree
 from .state import ExecutionState, StackFrame, StateStatus
 from .searcher import (
-    BFSSearcher, DFSSearcher, RandomSearcher, Searcher, make_searcher,
+    BFSSearcher, DFSSearcher, RandomSearcher, Searcher,
+    WorkStealingFrontier, make_searcher,
 )
 from .executor import (
-    BugReport, PathRecord, SymbolicExecutor, SymexLimits, SymexReport,
-    SymexStats, explore,
+    BugReport, ExplorationBudget, PathRecord, SymbolicExecutor, SymexLimits,
+    SymexReport, SymexStats, explore,
 )
+from .parallel import ParallelExecutor, explore_parallel
 from .backend import SymexBackend
 
 __all__ = [
@@ -27,11 +31,13 @@ __all__ = [
     "false_expr", "ite", "not_expr", "rebuild", "sext", "substitute",
     "true_expr", "trunc", "var", "zext",
     "SymbolicMemory", "SymbolicMemoryObject",
-    "Solver", "SolverConfig", "SolverResult", "SolverStats", "UBTree",
+    "SharedSolverCaches", "Solver", "SolverConfig", "SolverResult",
+    "SolverStats", "UBTree",
     "ExecutionState", "StackFrame", "StateStatus",
     "BFSSearcher", "DFSSearcher", "RandomSearcher", "Searcher",
-    "make_searcher",
-    "BugReport", "PathRecord", "SymbolicExecutor", "SymexLimits",
-    "SymexReport", "SymexStats", "explore",
+    "WorkStealingFrontier", "make_searcher",
+    "BugReport", "ExplorationBudget", "PathRecord", "SymbolicExecutor",
+    "SymexLimits", "SymexReport", "SymexStats", "explore",
+    "ParallelExecutor", "explore_parallel",
     "SymexBackend",
 ]

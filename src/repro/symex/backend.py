@@ -1,11 +1,15 @@
 """The symbolic-execution engine as a :class:`VerificationBackend`.
 
-Searcher selection and the Solver-v2 feature flags are by name, so a driver
-can write ``make_backend("symex<searcher=bfs,ubtree=off>")`` without
-touching executor internals.  The flags mirror
+Searcher selection, worker-pool sizing and the Solver feature flags are by
+name, so a driver can write ``make_backend("symex<workers=4>")`` or
+``make_backend("symex<searcher=bfs,ubtree=off>")`` without touching
+executor internals.  The flags mirror
 :class:`~repro.symex.solver.SolverConfig`: ``ubtree``,
-``rewrite-equalities`` and ``branch-and-prune``, each accepting
-``on``/``off`` (also ``true``/``false``/``1``/``0``).
+``rewrite-equalities``, ``branch-and-prune`` and ``seeded-splits``, each
+accepting ``on``/``off`` (also ``true``/``false``/``1``/``0``), plus the
+integer ``ubtree-capacity`` (0 = unbounded).  ``workers=N`` with ``N > 1``
+explores through the :class:`~repro.symex.parallel.ParallelExecutor`
+worker pool (``processes=on`` selects its process-pool escape hatch).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from ..verification import (
     VerificationRequest, register_backend,
 )
 from .executor import SymexLimits, explore
+from .parallel import ParallelExecutor
 from .searcher import make_searcher
 from .solver import Solver, SolverConfig
 
@@ -36,35 +41,60 @@ def _parse_flag(name: str, value: object) -> bool:
         f"symex: flag '{name}' must be on/off, got {value!r}")
 
 
+def _parse_count(name: str, value: object, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BackendSpecError(
+            f"symex: '{name}' must be an integer, got {value!r}")
+    if value < minimum:
+        raise BackendSpecError(
+            f"symex: '{name}' must be >= {minimum}, got {value}")
+    return value
+
+
 class SymexBackend(VerificationBackend):
     """Exhaustive bounded symbolic execution (the paper's KLEE stand-in)."""
 
     name = "symex"
 
-    def __init__(self, searcher: str = "dfs", ubtree: object = True,
+    def __init__(self, searcher: str = "dfs", workers: object = 1,
+                 processes: object = False, ubtree: object = True,
                  rewrite_equalities: object = True,
-                 branch_and_prune: object = True) -> None:
+                 branch_and_prune: object = True,
+                 seeded_splits: object = True,
+                 ubtree_capacity: object = 0) -> None:
         make_searcher(searcher)  # validate the name eagerly
         self.searcher = searcher
+        self.workers = _parse_count("workers", workers, 1)
+        self.use_processes = _parse_flag("processes", processes)
         self.solver_config = SolverConfig(
             ubtree=_parse_flag("ubtree", ubtree),
             rewrite_equalities=_parse_flag("rewrite-equalities",
                                            rewrite_equalities),
             branch_and_prune=_parse_flag("branch-and-prune",
                                          branch_and_prune),
+            seeded_splits=_parse_flag("seeded-splits", seeded_splits),
+            ubtree_capacity=_parse_count("ubtree-capacity", ubtree_capacity,
+                                         0),
         )
 
     def describe(self) -> str:
         parts = []
         if self.searcher != "dfs":
             parts.append(f"searcher={self.searcher}")
+        if self.workers != 1:
+            parts.append(f"workers={self.workers}")
+        if self.use_processes:
+            parts.append("processes=on")
         config = self.solver_config
         for key, enabled in (("ubtree", config.ubtree),
                              ("rewrite-equalities",
                               config.rewrite_equalities),
-                             ("branch-and-prune", config.branch_and_prune)):
+                             ("branch-and-prune", config.branch_and_prune),
+                             ("seeded-splits", config.seeded_splits)):
             if not enabled:
                 parts.append(f"{key}=off")
+        if config.ubtree_capacity:
+            parts.append(f"ubtree-capacity={config.ubtree_capacity}")
         if parts:
             return f"symex<{','.join(parts)}>"
         return "symex"
@@ -74,10 +104,17 @@ class SymexBackend(VerificationBackend):
         limits = SymexLimits(timeout_seconds=request.timeout_seconds,
                              max_instructions=request.max_instructions)
         start = time.perf_counter()
-        report = explore(module, request.symbolic_input_bytes,
-                         entry=request.entry, searcher=self.searcher,
-                         limits=limits,
-                         solver=Solver(config=self.solver_config))
+        if self.workers > 1 or self.use_processes:
+            executor = ParallelExecutor(
+                module, entry=request.entry, searcher=self.searcher,
+                workers=self.workers, solver_config=self.solver_config,
+                limits=limits, use_processes=self.use_processes)
+            report = executor.run(request.symbolic_input_bytes)
+        else:
+            report = explore(module, request.symbolic_input_bytes,
+                             entry=request.entry, searcher=self.searcher,
+                             limits=limits,
+                             solver=Solver(config=self.solver_config))
         seconds = time.perf_counter() - start
         return VerificationOutcome(
             backend=self.describe(),

@@ -79,6 +79,50 @@ class SymexLimits:
     max_call_depth: int = 128
 
 
+#: Instructions executed between budget checks inside :meth:`_run_state`.
+#: Budgets are approximate by nature (the paper's is a one-hour timeout);
+#: checking on a stride keeps the per-instruction loop free of clock reads,
+#: at the cost of overshooting a limit by at most the stride.
+BUDGET_CHECK_STRIDE = 16
+
+
+class ExplorationBudget:
+    """The resource budget of one exploration run, aggregated over every
+    worker exploring it.
+
+    Each worker accumulates into its own :class:`SymexStats` (lock-free —
+    no object is written by two threads); the budget reads across all of
+    them, so the limits bound the *run*, not each worker.  Reads of other
+    workers' counters may lag by an increment or two, which only shifts
+    the stopping point by a few instructions.
+    """
+
+    def __init__(self, limits: SymexLimits,
+                 stats_views: Sequence[SymexStats]) -> None:
+        self.limits = limits
+        self._views = list(stats_views)
+        self.start_time = time.perf_counter()
+
+    def exhausted(self) -> Optional[str]:
+        """The first exceeded limit ("paths", "instructions", "forks",
+        "timeout"), or None while in budget."""
+        paths = instructions = forks = 0
+        for stats in self._views:
+            paths += stats.paths_completed + stats.paths_errored
+            instructions += stats.instructions_interpreted
+            forks += stats.forks
+        limits = self.limits
+        if paths >= limits.max_paths:
+            return "paths"
+        if instructions >= limits.max_instructions:
+            return "instructions"
+        if forks >= limits.max_forks:
+            return "forks"
+        if time.perf_counter() - self.start_time > limits.timeout_seconds:
+            return "timeout"
+        return None
+
+
 @dataclass
 class BugReport:
     """A detected bug plus a concrete input that triggers it."""
@@ -114,6 +158,11 @@ class SymexStats:
     paths_errored: int = 0
     paths_terminated: int = 0
     instructions_interpreted: int = 0
+    #: Of ``instructions_interpreted``, how many were re-executed while
+    #: replaying a fork-decision trace (process-mode workers reconstruct
+    #: their subtree roots by replay; the prefix work is real but already
+    #: counted by the run that recorded the trace).
+    instructions_replayed: int = 0
     branches_encountered: int = 0
     forks: int = 0
     states_created: int = 1
@@ -124,6 +173,24 @@ class SymexStats:
     @property
     def total_paths(self) -> int:
         return self.paths_completed + self.paths_errored
+
+    def merge(self, other: "SymexStats") -> None:
+        """Fold a worker's counters into this aggregate: sums for the
+        additive counters, max for the gauges, or for ``timed_out``.
+        ``wall_seconds`` is taken as the max — workers run concurrently,
+        so their wall clocks overlap rather than add."""
+        self.paths_completed += other.paths_completed
+        self.paths_errored += other.paths_errored
+        self.paths_terminated += other.paths_terminated
+        self.instructions_interpreted += other.instructions_interpreted
+        self.instructions_replayed += other.instructions_replayed
+        self.branches_encountered += other.branches_encountered
+        self.forks += other.forks
+        self.states_created += other.states_created
+        self.max_live_states = max(self.max_live_states,
+                                   other.max_live_states)
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        self.timed_out |= other.timed_out
 
 
 @dataclass
@@ -140,30 +207,57 @@ class SymexReport:
 
 
 class SymbolicExecutor:
-    """Explores every feasible path of a module's entry function."""
+    """Explores every feasible path of a module's entry function.
+
+    The stepping core (:meth:`_run_state` and everything below it) is
+    re-entrant and worker-safe: it touches only the state being run and
+    this executor's own ``stats``/``report``/``solver``, plus the
+    read-only module/globals and the (thread-safe, injectable) searcher.
+    The parallel executor builds one engine per worker, sharing the
+    module, globals and frontier while giving each worker private stats,
+    report, and a solver whose caches are lock-striped
+    (:class:`~repro.symex.parallel.ParallelExecutor`).
+    """
 
     def __init__(self, module: Module, entry: str = "main",
                  searcher: Union[str, Searcher] = "dfs",
                  solver: Optional[Solver] = None,
-                 limits: Optional[SymexLimits] = None) -> None:
+                 limits: Optional[SymexLimits] = None,
+                 stats: Optional[SymexStats] = None,
+                 budget: Optional[ExplorationBudget] = None,
+                 globals_map: Optional[Dict[str, int]] = None,
+                 input_variables: Optional[List[str]] = None,
+                 record_traces: bool = False) -> None:
         self.module = module
         self.entry = module.get_function(entry)
         self.searcher = make_searcher(searcher) if isinstance(searcher, str) \
             else searcher
         self.solver = solver or Solver()
         self.limits = limits or SymexLimits()
-        self.stats = SymexStats()
+        self.stats = stats if stats is not None else SymexStats()
         self.report = SymexReport(stats=self.stats,
                                   solver_stats=self.solver.stats)
-        self._globals: Dict[str, int] = {}
-        self._input_variables: List[str] = []
-        self._start_time = 0.0
+        self._globals: Dict[str, int] = globals_map if globals_map is not None \
+            else {}
+        self._input_variables: List[str] = input_variables \
+            if input_variables is not None else []
+        self._budget = budget
+        #: Remaining fork decisions while reconstructing a traced state
+        #: (process-mode replay); empty outside replay.
+        self._replay: List[int] = []
+        #: Record fork-decision traces on states (an O(depth) tuple copy
+        #: per fork) — only the process-mode bootstrap needs them.
+        self._record_traces = record_traces
 
     # --------------------------------------------------------------- setup
     def make_initial_state(self, num_input_bytes: int) -> ExecutionState:
         """Build the initial state: globals materialized, the entry function's
         ``(unsigned char *input, int len)`` parameters bound to a buffer of
-        ``num_input_bytes`` symbolic bytes followed by a NUL terminator."""
+        ``num_input_bytes`` symbolic bytes followed by a NUL terminator.
+
+        Also (re)initializes this executor's globals map and input-variable
+        list; worker engines receive those read-only from the bootstrap
+        engine instead of calling this."""
         state = ExecutionState(
             rewrite_equalities=self.solver.config.rewrite_equalities,
             solver_stats=self.solver.stats)
@@ -216,7 +310,7 @@ class SymbolicExecutor:
     def run(self, num_input_bytes: int) -> SymexReport:
         """Exhaustively explore the entry function for the given symbolic
         input size (subject to the configured limits)."""
-        self._start_time = time.perf_counter()
+        self._budget = ExplorationBudget(self.limits, [self.stats])
         initial = self.make_initial_state(num_input_bytes)
         self.searcher.add(initial)
         while not self.searcher.empty():
@@ -231,32 +325,68 @@ class SymbolicExecutor:
             state = self.searcher.pop()
             state.status = StateStatus.TERMINATED
             self.stats.paths_terminated += 1
-        self.stats.wall_seconds = time.perf_counter() - self._start_time
+        self.stats.wall_seconds = time.perf_counter() - self._budget.start_time
+        return self.report
+
+    def replay_run(self, num_input_bytes: int,
+                   traces: Sequence[Sequence[int]]) -> SymexReport:
+        """Process-mode worker entry: reconstruct each traced state by
+        replaying its fork decisions from a fresh initial state, then
+        explore its subtree exhaustively.
+
+        Replay follows the recorded side of every queueing fork without
+        queueing the sibling (it is some other trace's prefix) and without
+        re-recording error paths along the prefix (the recording run owns
+        them), so the union of all workers' subtrees covers each path
+        exactly once."""
+        self._budget = ExplorationBudget(self.limits, [self.stats])
+        for consumed, trace in enumerate(traces):
+            if self._out_of_budget():
+                # Like frontier states left behind on budget exhaustion,
+                # every un-replayed trace is a path that will not be
+                # explored: account for each as a terminated path.
+                self.stats.paths_terminated += len(traces) - consumed
+                break
+            state = self.make_initial_state(num_input_bytes)
+            self._replay = list(trace)
+            self._run_state(state)
+            self._replay = []
+            while not self.searcher.empty():
+                if self._out_of_budget():
+                    break
+                self._run_state(self.searcher.pop())
+                self.stats.max_live_states = max(self.stats.max_live_states,
+                                                 len(self.searcher) + 1)
+        while not self.searcher.empty():
+            state = self.searcher.pop()
+            state.status = StateStatus.TERMINATED
+            self.stats.paths_terminated += 1
+        self.stats.wall_seconds = time.perf_counter() - self._budget.start_time
         return self.report
 
     def _out_of_budget(self) -> bool:
-        if self.stats.total_paths >= self.limits.max_paths:
-            return True
-        if self.stats.instructions_interpreted >= self.limits.max_instructions:
+        reason = self._budget.exhausted()
+        if reason is None:
+            return False
+        if reason != "paths":
             self.stats.timed_out = True
-            return True
-        if self.stats.forks >= self.limits.max_forks:
-            self.stats.timed_out = True
-            return True
-        if time.perf_counter() - self._start_time > self.limits.timeout_seconds:
-            self.stats.timed_out = True
-            return True
-        return False
+        return True
 
     # ------------------------------------------------------------- stepping
     def _run_state(self, state: ExecutionState) -> None:
         """Run ``state`` until it forks (pushing both sides), finishes, or
         hits an error."""
+        # Every caller checks the budget right before handing us a state,
+        # so the first in-loop check waits a full stride.
+        budget_countdown = BUDGET_CHECK_STRIDE
         while state.status is StateStatus.RUNNING:
-            if self._out_of_budget():
-                state.status = StateStatus.TERMINATED
-                self.stats.paths_terminated += 1
-                return
+            budget_countdown -= 1
+            if budget_countdown <= 0:
+                budget_countdown = BUDGET_CHECK_STRIDE
+                if self._out_of_budget():
+                    state.status = StateStatus.TERMINATED
+                    self.stats.paths_terminated += 1
+                    return
             frame = state.frame
             block = frame.block
             assert block is not None
@@ -301,6 +431,12 @@ class SymbolicExecutor:
 
     # ---------------------------------------------------------- evaluation
     def _eval(self, state: ExecutionState, value: Value) -> Expr:
+        # Fast path: by far most operands are SSA values already bound in
+        # the current frame.  Ids of live objects are unique, so a
+        # constant's id can never alias a binding key.
+        expr = state.stack[-1].values.get(id(value))
+        if expr is not None:
+            return expr
         if isinstance(value, ConstantInt):
             ty = value.type
             assert isinstance(ty, IntType)
@@ -329,78 +465,80 @@ class SymbolicExecutor:
     # ------------------------------------------------------------ execute
     def _execute(self, state: ExecutionState, inst: Instruction) -> bool:
         """Execute one instruction; returns True if the state forked (and the
-        successors were already queued)."""
-        if isinstance(inst, BinaryInst):
-            self._execute_binary(state, inst)
-            return False
-        if isinstance(inst, ICmpInst):
-            lhs = self._eval(state, inst.lhs)
-            rhs = self._eval(state, inst.rhs)
-            state.bind(inst, _icmp_expr(inst.predicate, lhs, rhs))
-            return False
-        if isinstance(inst, SelectInst):
-            condition = self._eval(state, inst.condition)
-            then = self._eval(state, inst.true_value)
-            otherwise = self._eval(state, inst.false_value)
-            state.bind(inst, ite(condition, then, otherwise))
-            return False
-        if isinstance(inst, CastInst):
-            state.bind(inst, self._execute_cast(state, inst))
-            return False
-        if isinstance(inst, AllocaInst):
-            size = inst.allocated_type.size_in_bytes()
-            address = state.memory.allocate(size, name=inst.name or "alloca")
-            state.bind(inst, const(POINTER_WIDTH, address))
-            return False
-        if isinstance(inst, LoadInst):
-            size = inst.type.size_in_bytes()
-            address = self._concretize_address(state, inst.pointer, size)
-            loaded = state.memory.load(address, size)
-            width = self._width_of(inst.type)
-            if loaded.width > width:
-                loaded = trunc(loaded, width)
-            elif loaded.width < width:
-                loaded = zext(loaded, width)
-            state.bind(inst, loaded)
-            return False
-        if isinstance(inst, StoreInst):
-            size = inst.value.type.size_in_bytes()
-            address = self._concretize_address(state, inst.pointer, size)
-            value = self._eval(state, inst.value)
-            if value.width < 8 * size:
-                value = zext(value, 8 * size)
-            state.memory.store(address, value, size)
-            return False
-        if isinstance(inst, GEPInst):
-            base = self._eval(state, inst.base)
-            total = base
-            for index in inst.indices:
-                offset = self._eval(state, index)
-                if offset.width < POINTER_WIDTH:
-                    offset = sext(offset, POINTER_WIDTH)
-                elif offset.width > POINTER_WIDTH:
-                    offset = trunc(offset, POINTER_WIDTH)
-                total = binary(ExprOp.ADD, total, offset)
-            state.bind(inst, total)
-            return False
-        if isinstance(inst, CallInst):
-            return self._execute_call(state, inst)
-        if isinstance(inst, BranchInst):
-            return self._execute_branch(state, inst)
-        if isinstance(inst, SwitchInst):
-            return self._execute_switch(state, inst)
-        if isinstance(inst, ReturnInst):
-            self._execute_return(state, inst)
-            return False
-        if isinstance(inst, UnreachableInst):
-            raise ProgramError(ErrorKind.UNREACHABLE_EXECUTED, "")
-        if isinstance(inst, PhiInst):
-            # Phis are evaluated at block entry; reaching one here means the
-            # index bookkeeping is off.
-            raise ProgramError(ErrorKind.UNREACHABLE_EXECUTED,
-                               "phi executed out of order")
-        raise ProgramError(ErrorKind.UNKNOWN_FUNCTION,
-                           f"cannot execute {inst.opcode.value}")
+        successors were already queued).
+
+        Dispatch is one dict lookup on the concrete instruction class
+        (built once at class-definition time) instead of an isinstance
+        chain — this is the hottest call in the interpreter loop."""
+        handler = self._DISPATCH.get(type(inst))
+        if handler is None:
+            raise ProgramError(ErrorKind.UNKNOWN_FUNCTION,
+                               f"cannot execute {inst.opcode.value}")
+        return handler(self, state, inst) is True
+
+    def _execute_icmp(self, state: ExecutionState, inst: ICmpInst) -> None:
+        lhs = self._eval(state, inst.lhs)
+        rhs = self._eval(state, inst.rhs)
+        state.bind(inst, _icmp_expr(inst.predicate, lhs, rhs))
+
+    def _execute_select(self, state: ExecutionState,
+                        inst: SelectInst) -> None:
+        condition = self._eval(state, inst.condition)
+        then = self._eval(state, inst.true_value)
+        otherwise = self._eval(state, inst.false_value)
+        state.bind(inst, ite(condition, then, otherwise))
+
+    def _execute_cast_inst(self, state: ExecutionState,
+                           inst: CastInst) -> None:
+        state.bind(inst, self._execute_cast(state, inst))
+
+    def _execute_alloca(self, state: ExecutionState,
+                        inst: AllocaInst) -> None:
+        size = inst.allocated_type.size_in_bytes()
+        address = state.memory.allocate(size, name=inst.name or "alloca")
+        state.bind(inst, const(POINTER_WIDTH, address))
+
+    def _execute_load(self, state: ExecutionState, inst: LoadInst) -> None:
+        size = inst.type.size_in_bytes()
+        address = self._concretize_address(state, inst.pointer, size)
+        loaded = state.memory.load(address, size)
+        width = self._width_of(inst.type)
+        if loaded.width > width:
+            loaded = trunc(loaded, width)
+        elif loaded.width < width:
+            loaded = zext(loaded, width)
+        state.bind(inst, loaded)
+
+    def _execute_store(self, state: ExecutionState, inst: StoreInst) -> None:
+        size = inst.value.type.size_in_bytes()
+        address = self._concretize_address(state, inst.pointer, size)
+        value = self._eval(state, inst.value)
+        if value.width < 8 * size:
+            value = zext(value, 8 * size)
+        state.memory.store(address, value, size)
+
+    def _execute_gep(self, state: ExecutionState, inst: GEPInst) -> None:
+        base = self._eval(state, inst.base)
+        total = base
+        for index in inst.indices:
+            offset = self._eval(state, index)
+            if offset.width < POINTER_WIDTH:
+                offset = sext(offset, POINTER_WIDTH)
+            elif offset.width > POINTER_WIDTH:
+                offset = trunc(offset, POINTER_WIDTH)
+            total = binary(ExprOp.ADD, total, offset)
+        state.bind(inst, total)
+
+    def _execute_unreachable(self, state: ExecutionState,
+                             inst: UnreachableInst) -> None:
+        raise ProgramError(ErrorKind.UNREACHABLE_EXECUTED, "")
+
+    def _execute_phi_misplaced(self, state: ExecutionState,
+                               inst: PhiInst) -> None:
+        # Phis are evaluated at block entry; reaching one here means the
+        # index bookkeeping is off.
+        raise ProgramError(ErrorKind.UNREACHABLE_EXECUTED,
+                           "phi executed out of order")
 
     # ----------------------------------------------------------- operators
     def _execute_binary(self, state: ExecutionState, inst: BinaryInst) -> None:
@@ -420,8 +558,9 @@ class SymbolicExecutor:
                 raise ProgramError(ErrorKind.DIVISION_BY_ZERO, "")
             return
         is_zero = binary(ExprOp.EQ, divisor, zero)
-        can_zero, can_nonzero = self.solver.check_branch(
-            state.relevant_constraints(is_zero), is_zero)
+        varfree, groups = state.relevant_partition(is_zero)
+        can_zero, can_nonzero = self.solver.check_branch_partition(
+            varfree, groups, is_zero)
         if not can_zero:
             # Division is safe; the nonzero fact is implied by the path
             # condition, so there is nothing to record.
@@ -429,6 +568,11 @@ class SymbolicExecutor:
         if not can_nonzero:
             # The divisor is zero on every continuation of this path.
             raise ProgramError(ErrorKind.DIVISION_BY_ZERO, "")
+        if self._replay:
+            # The error path was recorded when this prefix was first
+            # explored; replay only re-establishes the surviving side.
+            state.add_constraint(not_expr(is_zero))
+            return
         # Fork an error path on which the divisor is zero.
         error_state = state.fork()
         self.stats.forks += 1
@@ -476,8 +620,13 @@ class SymbolicExecutor:
             address = state.rewrite(address)
         if address.is_constant:
             return address.value
-        model = self.solver.get_model(
-            state.relevant_constraints(address)) or {}
+        # The chosen model *becomes path structure* (the state is pinned to
+        # this concrete address), so it must not depend on what other
+        # queries happen to have cached: concretization_model is a pure
+        # function of the query, keeping exploration identical across
+        # worker counts and schedules.
+        model = self.solver.concretization_model(
+            *state.relevant_partition(address)) or {}
         concrete = address.evaluate({name: model.get(name, 0)
                                      for name in address.variables()})
         obj = state.memory.object_at(concrete)
@@ -488,18 +637,22 @@ class SymbolicExecutor:
                 ExprOp.OR,
                 binary(ExprOp.ULT, address, low),
                 binary(ExprOp.ULT, high, address))
-            if self.solver.may_be_true(
-                    state.relevant_constraints(out_of_bounds), out_of_bounds):
-                error_state = state.fork()
-                self.stats.forks += 1
-                self.stats.states_created += 1
-                error_state.add_constraint(out_of_bounds)
-                error = ProgramError(
-                    ErrorKind.OUT_OF_BOUNDS,
-                    f"symbolic address may leave object '{obj.name}'",
-                    state.frame.function.name,
-                    state.frame.block.name if state.frame.block else "")
-                self._record_error(error_state, error)
+            if self.solver.may_be_true_partition(
+                    *state.relevant_partition(out_of_bounds), out_of_bounds):
+                if not self._replay:
+                    # (During trace replay the error side was already
+                    # recorded by the run that traced this prefix; see
+                    # _check_division.)
+                    error_state = state.fork()
+                    self.stats.forks += 1
+                    self.stats.states_created += 1
+                    error_state.add_constraint(out_of_bounds)
+                    error = ProgramError(
+                        ErrorKind.OUT_OF_BOUNDS,
+                        f"symbolic address may leave object '{obj.name}'",
+                        state.frame.function.name,
+                        state.frame.block.name if state.frame.block else "")
+                    self._record_error(error_state, error)
                 state.add_constraint(not_expr(out_of_bounds))
         state.add_constraint(binary(ExprOp.EQ, address,
                                     const(address.width, concrete)))
@@ -554,6 +707,15 @@ class SymbolicExecutor:
             state.frame.bind(id(call_site), value)
 
     # ----------------------------------------------------------- branches
+    def _next_replay_decision(self, state: ExecutionState) -> int:
+        """Pop the next recorded fork decision; when the trace runs dry the
+        prefix is fully reconstructed and its instruction count is booked
+        as replay overhead (it was already counted by the recording run)."""
+        choice = self._replay.pop(0)
+        if not self._replay:
+            self.stats.instructions_replayed += state.instructions_executed
+        return choice
+
     def _execute_branch(self, state: ExecutionState, inst: BranchInst) -> bool:
         if not inst.is_conditional:
             state.jump_to(inst.true_target)
@@ -570,9 +732,11 @@ class SymbolicExecutor:
             return False
         # Only the constraint groups sharing variables with the condition can
         # affect the branch; disjoint groups are satisfiable by the state
-        # invariant and drop out of the query.
-        can_true, can_false = self.solver.check_branch(
-            state.relevant_constraints(condition), condition)
+        # invariant and drop out of the query.  The state's partition goes
+        # to the solver as-is, so no union-find re-derives it.
+        varfree, groups = state.relevant_partition(condition)
+        can_true, can_false = self.solver.check_branch_partition(
+            varfree, groups, condition)
         if can_true and not can_false:
             state.add_constraint(condition)
             state.jump_to(inst.true_target)
@@ -586,10 +750,24 @@ class SymbolicExecutor:
             state.status = StateStatus.TERMINATED
             self.stats.paths_terminated += 1
             return False
+        if self._replay:
+            # Reconstructing a traced state: take the recorded side, do
+            # not queue the other (it is some other trace's prefix).
+            if self._next_replay_decision(state):
+                state.add_constraint(condition)
+                state.jump_to(inst.true_target)
+            else:
+                state.add_constraint(not_expr(condition))
+                state.jump_to(inst.false_target)
+            state.depth += 1
+            return False
         # Fork: explore both directions.
         self.stats.forks += 1
         self.stats.states_created += 1
         false_state = state.fork()
+        if self._record_traces:
+            false_state.trace = state.trace + (0,)
+            state.trace = state.trace + (1,)
         false_state.add_constraint(not_expr(condition))
         false_state.jump_to(inst.false_target)
         false_state.depth += 1
@@ -613,7 +791,7 @@ class SymbolicExecutor:
                     return False
             state.jump_to(inst.default)
             return False
-        relevant = state.relevant_constraints(value)
+        varfree, groups = state.relevant_partition(value)
         feasible: List[Tuple[Expr, BasicBlock]] = []
         default_constraint: List[Expr] = []
         for case_const, target in inst.cases():
@@ -621,10 +799,10 @@ class SymbolicExecutor:
             equals = binary(ExprOp.EQ, value,
                             const(value.width, case_const.value))
             default_constraint.append(not_expr(equals))
-            if self.solver.may_be_true(relevant, equals):
+            if self.solver.may_be_true_partition(varfree, groups, equals):
                 feasible.append((equals, target))
-        default_feasible = self.solver.is_satisfiable(
-            relevant + default_constraint)
+        default_feasible = self.solver.check_partition(
+            varfree, groups, default_constraint).satisfiable
         targets: List[Tuple[List[Expr], BasicBlock]] = [
             ([expr], target) for expr, target in feasible]
         if default_feasible:
@@ -633,9 +811,18 @@ class SymbolicExecutor:
             state.status = StateStatus.TERMINATED
             self.stats.paths_terminated += 1
             return False
+        if self._replay and len(targets) > 1:
+            choice_constraints, choice_target = \
+                targets[self._next_replay_decision(state)]
+            for constraint in choice_constraints:
+                state.add_constraint(constraint)
+            state.jump_to(choice_target)
+            return False
         # The first feasible target continues on this state; the rest fork.
-        for extra_constraints, target in targets[1:]:
+        for index, (extra_constraints, target) in enumerate(targets[1:], 1):
             forked = state.fork()
+            if self._record_traces:
+                forked.trace = state.trace + (index,)
             self.stats.forks += 1
             self.stats.states_created += 1
             for constraint in extra_constraints:
@@ -647,6 +834,8 @@ class SymbolicExecutor:
             state.add_constraint(constraint)
         state.jump_to(first_target)
         if len(targets) > 1:
+            if self._record_traces:
+                state.trace = state.trace + (0,)
             self.searcher.add(state)
             return True
         return False
@@ -656,7 +845,7 @@ class SymbolicExecutor:
         """A concrete input satisfying the state's path constraints."""
         if not self._input_variables:
             return b""
-        model = self.solver.get_model(state.constraints)
+        model = self.solver.model_for_partition(*state.full_partition())
         if model is None:
             return None
         return bytes(model.get(name, 0) & 0xFF
@@ -695,6 +884,27 @@ class SymbolicExecutor:
             block=error.block,
             test_input=test_input,
         ))
+
+
+#: Concrete instruction class -> handler.  Exact-type keyed: the IR's
+#: instruction hierarchy is flat (every class derives directly from
+#: Instruction), so no subclass can miss its parent's handler.
+SymbolicExecutor._DISPATCH = {
+    BinaryInst: SymbolicExecutor._execute_binary,
+    ICmpInst: SymbolicExecutor._execute_icmp,
+    SelectInst: SymbolicExecutor._execute_select,
+    CastInst: SymbolicExecutor._execute_cast_inst,
+    AllocaInst: SymbolicExecutor._execute_alloca,
+    LoadInst: SymbolicExecutor._execute_load,
+    StoreInst: SymbolicExecutor._execute_store,
+    GEPInst: SymbolicExecutor._execute_gep,
+    CallInst: SymbolicExecutor._execute_call,
+    BranchInst: SymbolicExecutor._execute_branch,
+    SwitchInst: SymbolicExecutor._execute_switch,
+    ReturnInst: SymbolicExecutor._execute_return,
+    UnreachableInst: SymbolicExecutor._execute_unreachable,
+    PhiInst: SymbolicExecutor._execute_phi_misplaced,
+}
 
 
 def explore(module: Module, num_input_bytes: int, entry: str = "main",

@@ -16,6 +16,7 @@ complement signed interpretations where needed.
 from __future__ import annotations
 
 import enum
+import threading
 import weakref
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -56,6 +57,15 @@ COMPARISON_OPS = {ExprOp.EQ, ExprOp.NE, ExprOp.ULT, ExprOp.ULE,
 COMMUTATIVE_OPS = {ExprOp.ADD, ExprOp.MUL, ExprOp.AND, ExprOp.OR, ExprOp.XOR,
                    ExprOp.EQ, ExprOp.NE}
 
+# Classification flags as plain member attributes: ``op.is_comparison`` is
+# an attribute read where ``op in COMPARISON_OPS`` pays an enum hash — the
+# membership tests in the smart constructors and the interval transfer are
+# among the hottest expressions in the interpreter loop.
+for _member in ExprOp:
+    _member.is_comparison = _member in COMPARISON_OPS
+    _member.is_commutative = _member in COMMUTATIVE_OPS
+del _member
+
 
 def mask(width: int) -> int:
     return (1 << width) - 1
@@ -75,15 +85,28 @@ class Expr:
     ``a`` and ``b`` are structurally equal; ``==`` and ``hash`` are the
     (default) identity operations.  Per-node caches (``_vars``, ``_interval``,
     ``_schedule``) are therefore shared by every user of the node.
+
+    Nodes are safe to share across the parallel executor's worker threads:
+    they are immutable after construction, interning misses are serialized
+    by ``_intern_lock``, and the lazy per-node memos are pure functions of
+    the node, so a duplicated concurrent computation writes the same value.
     """
 
     __slots__ = ("op", "width", "operands", "value", "name",
+                 "is_constant", "is_symbolic",
                  "_vars", "_interval", "_schedule", "__weakref__")
 
     #: The global intern table.  Keys hold strong references to the operand
     #: tuple, values are weak: a node (and its intern entry) dies as soon as
     #: no state, constraint, or parent node references it.
     _intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    #: Guards the miss path of the intern table.  Identity equality only
+    #: holds if two threads can never intern the same key concurrently
+    #: (the parallel executor's workers share the table); the hit path is a
+    #: plain read and stays lock-free — double-checked locking is sound
+    #: here because a key is published only after the node is fully built.
+    _intern_lock = threading.Lock()
 
     def __new__(cls, op: ExprOp, width: int,
                 operands: Tuple["Expr", ...] = (),
@@ -94,16 +117,25 @@ class Expr:
         self = cls._intern.get(key)
         if self is not None:
             return self
-        self = super().__new__(cls)
-        self.op = op
-        self.width = width
-        self.operands = operands
-        self.value = value
-        self.name = name
-        self._vars: Optional[FrozenSet[str]] = None
-        self._interval: Optional[Tuple[int, int]] = None
-        self._schedule: Optional[List[tuple]] = None
-        cls._intern[key] = self
+        with cls._intern_lock:
+            self = cls._intern.get(key)
+            if self is not None:
+                return self
+            self = super().__new__(cls)
+            self.op = op
+            self.width = width
+            self.operands = operands
+            self.value = value
+            self.name = name
+            # Materialized flags: reading an attribute beats a property
+            # call in the constructors' constant-folding checks, which run
+            # for every expression the interpreter builds.
+            self.is_constant = op is ExprOp.CONST
+            self.is_symbolic = op is not ExprOp.CONST
+            self._vars: Optional[FrozenSet[str]] = None
+            self._interval: Optional[Tuple[int, int]] = None
+            self._schedule: Optional[List[tuple]] = None
+            cls._intern[key] = self
         return self
 
     # ------------------------------------------------------------- identity
@@ -116,10 +148,7 @@ class Expr:
         return len(cls._intern)
 
     # ----------------------------------------------------------- queries
-    @property
-    def is_constant(self) -> bool:
-        return self.op is ExprOp.CONST
-
+    # (``is_constant`` / ``is_symbolic`` are materialized slots, see above.)
     @property
     def is_true(self) -> bool:
         return self.op is ExprOp.CONST and self.width == 1 and self.value == 1
@@ -127,10 +156,6 @@ class Expr:
     @property
     def is_false(self) -> bool:
         return self.op is ExprOp.CONST and self.width == 1 and self.value == 0
-
-    @property
-    def is_symbolic(self) -> bool:
-        return not self.is_constant
 
     def variables(self) -> FrozenSet[str]:
         """Names of the symbolic variables the expression depends on.
@@ -412,7 +437,7 @@ def _interval_transfer(expr: Expr, child) -> Tuple[int, int]:
         low1, high1 = child(expr.operands[1])
         low2, high2 = child(expr.operands[2])
         return (min(low1, low2), max(high1, high2))
-    if op in COMPARISON_OPS:
+    if op.is_comparison:
         # The comparison's own value is a boolean; try to decide it from the
         # operand intervals.
         lhs_low, lhs_high = child(expr.operands[0])

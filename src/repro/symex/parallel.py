@@ -1,0 +1,369 @@
+"""Parallel path exploration: a worker pool draining the searcher frontier.
+
+-OVERIFY's program is to drive verification lag down like compile time;
+after the solver became cache-dominated, single-threaded exploration is the
+remaining wall-clock bottleneck.  The ingredients the sequential engine
+already has make a worker pool a composition exercise rather than a
+rewrite:
+
+* **states are copy-on-write** and owned by exactly one worker at a time,
+  so workers never synchronize on a state (see :mod:`repro.symex.state`);
+* **the solver caches are the only shared mutable structure**, and they
+  shard by constraint-group fingerprint into lock stripes
+  (:class:`~repro.symex.solver.SharedSolverCaches`) — the same group
+  always lands on the same stripe, so results cross between workers;
+* the frontier becomes a :class:`~repro.symex.searcher.WorkStealingFrontier`
+  (per-worker DFS stacks, steal-the-shallowest), and every worker runs a
+  private :class:`~repro.symex.executor.SymbolicExecutor` engine over the
+  shared module and globals.
+
+**Threads first.**  Workers are threads by default: state stepping is
+pure-Python and the CPython GIL serializes it, but cache hits are cheap,
+nothing is copied, and on free-threaded builds (or for any future
+GIL-releasing solver kernel) the same code scales with cores.  A
+**process pool** is the escape hatch (``use_processes=True``): execution
+states cannot cross a process boundary (their binding maps key on object
+identity), so the pool ships **fork-decision traces** instead — the
+bootstrap engine explores until the frontier is wide enough, each pending
+state's trace is replayed in a worker process
+(:meth:`~repro.symex.executor.SymbolicExecutor.replay_run`), and the
+subtree reports come back by value, Cloud9-style.
+
+**Determinism.**  Exhaustive exploration visits a schedule-independent
+path set as long as the solver's influence on control flow is
+deterministic.  Satisfiability *answers* are (caches only return answers
+an uncached search would also reach); cached *models* are not — which
+model answers a query depends on what some other query cached first.
+The one place a model feeds back into control flow, address
+concretization, therefore uses
+:meth:`~repro.symex.solver.Solver.concretization_model`, a fresh
+deterministic per-group search memoized by group content.  Worker count
+and scheduling then cannot change path counts, bug signatures, error
+counts, or interpreted instructions; they *can* change which worker finds
+what and which cached model witnesses a path record's test input.  The
+merged report is made order-independent: per-worker stats merge by
+summation, paths are sorted by content, and bug reports are deduplicated
+by signature.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import Module
+from .executor import (
+    BugReport, ExplorationBudget, PathRecord, SymbolicExecutor, SymexLimits,
+    SymexReport, SymexStats,
+)
+from .searcher import Searcher, WorkStealingFrontier
+from .solver import SharedSolverCaches, Solver, SolverConfig, SolverStats
+from .state import ExecutionState, StateStatus
+
+#: Frontier states the process-mode bootstrap aims for per worker before
+#: farming subtrees out (more seeds -> better load balance, longer
+#: sequential warm-up).
+PROCESS_SEEDS_PER_WORKER = 4
+
+
+class _SwitchIntervalGuard:
+    """Refcounted coarsening of the interpreter's thread switch interval.
+
+    ``sys.setswitchinterval`` is process-global: two overlapping pools
+    naively saving/restoring would race and could leave the coarse value
+    behind permanently.  The guard coarsens on the first concurrent
+    enter, restores the original on the last exit."""
+
+    def __init__(self, interval: float) -> None:
+        self._interval = interval
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._saved = 0.0
+
+    def __enter__(self) -> None:
+        with self._lock:
+            self._depth += 1
+            if self._depth == 1:
+                self._saved = sys.getswitchinterval()
+                sys.setswitchinterval(self._interval)
+
+    def __exit__(self, *exc: object) -> None:
+        with self._lock:
+            self._depth -= 1
+            if self._depth == 0:
+                sys.setswitchinterval(self._saved)
+
+
+#: On a GIL build the workers are CPU-bound peers: the default 5 ms switch
+#: interval makes them trade the GIL thousands of times per second for
+#: nothing.  Blocked workers are woken by the frontier's condition
+#: variable, not by GIL switches, so responsiveness is unharmed.
+_COARSE_SWITCHING = _SwitchIntervalGuard(0.05)
+
+
+class _FrontierView(Searcher):
+    """Adapter binding one worker's engine to the shared frontier: the
+    engine's fork handler calls ``searcher.add``, which must land on the
+    forking worker's own deque."""
+
+    def __init__(self, frontier: WorkStealingFrontier, worker: int) -> None:
+        self._frontier = frontier
+        self._worker = worker
+
+    def add(self, state: ExecutionState) -> None:
+        self._frontier.add(state, self._worker)
+
+    def __len__(self) -> int:
+        return len(self._frontier)
+
+    def pop(self) -> ExecutionState:  # pragma: no cover - workers pop
+        raise NotImplementedError(   # from the frontier directly
+            "worker engines pop from the frontier, not the view")
+
+
+def _path_sort_key(record: PathRecord) -> tuple:
+    """Content-based ordering: identical path sets sort identically
+    whatever worker count or schedule produced them (state ids are
+    scheduling artifacts and deliberately excluded)."""
+    return (record.status.value,
+            record.instructions,
+            record.constraint_count,
+            record.test_input is None,
+            record.test_input or b"",
+            record.return_value is None,
+            record.return_value or 0)
+
+
+def _merge_reports(stats: SymexStats, solver_stats: SolverStats,
+                   reports: Sequence[SymexReport]) -> SymexReport:
+    """Deterministic union of per-worker reports: paths sorted by content,
+    bugs deduplicated by signature (first per signature in signature
+    order), so the output is independent of worker count and schedule."""
+    merged = SymexReport(stats=stats, solver_stats=solver_stats)
+    paths: List[PathRecord] = []
+    bugs: List[BugReport] = []
+    for report in reports:
+        paths.extend(report.paths)
+        bugs.extend(report.bugs)
+    merged.paths = sorted(paths, key=_path_sort_key)
+    by_signature: Dict[tuple, BugReport] = {}
+    for bug in sorted(bugs, key=lambda b: (b.signature(), b.message,
+                                           b.test_input is None,
+                                           b.test_input or b"")):
+        by_signature.setdefault(bug.signature(), bug)
+    merged.bugs = [by_signature[signature]
+                   for signature in sorted(by_signature)]
+    return merged
+
+
+class ParallelExecutor:
+    """Explores a module's entry function with a pool of workers.
+
+    Mirrors :class:`~repro.symex.executor.SymbolicExecutor`'s ``run`` API
+    and report shape; ``workers=1`` runs the same machinery inline on the
+    calling thread (no pool), which the determinism tests use as the
+    reference point.
+    """
+
+    def __init__(self, module: Module, entry: str = "main",
+                 searcher: str = "dfs", workers: int = 4,
+                 solver_config: Optional[SolverConfig] = None,
+                 limits: Optional[SymexLimits] = None,
+                 use_processes: bool = False) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if searcher not in ("dfs", "bfs", "random"):
+            raise ValueError(f"unknown search strategy '{searcher}'")
+        self.module = module
+        self.entry = entry
+        self.searcher = searcher
+        self.workers = workers
+        self.solver_config = solver_config or SolverConfig()
+        self.limits = limits or SymexLimits()
+        self.use_processes = use_processes
+
+    # ------------------------------------------------------------- threads
+    def run(self, num_input_bytes: int) -> SymexReport:
+        """Explore exhaustively and return the merged report."""
+        if self.use_processes:
+            # Honored even at workers=1 (one worker process): asking for
+            # process isolation and silently running inline would be a
+            # config lie.
+            return self._run_processes(num_input_bytes)
+        return self._run_threads(num_input_bytes)
+
+    def _run_threads(self, num_input_bytes: int) -> SymexReport:
+        workers = self.workers
+        config = self.solver_config
+        shared = SharedSolverCaches(num_stripes=workers,
+                                    ubtree_capacity=config.ubtree_capacity,
+                                    locked=workers > 1)
+        frontier = WorkStealingFrontier(workers, mode=self.searcher)
+        # Worker 0 doubles as the bootstrap engine: it builds the globals
+        # and the initial state; the other engines share both read-only.
+        stats_list = [SymexStats(states_created=1 if index == 0 else 0)
+                      for index in range(workers)]
+        budget = ExplorationBudget(self.limits, stats_list)
+        engines: List[SymbolicExecutor] = [SymbolicExecutor(
+            self.module, entry=self.entry,
+            searcher=_FrontierView(frontier, 0),
+            solver=Solver(config=config, shared=shared),
+            limits=self.limits, stats=stats_list[0], budget=budget)]
+        # The bootstrap populates its globals map and input-variable list;
+        # build the sibling engines only afterwards so they share the
+        # populated objects (make_initial_state rebinds them).
+        initial = engines[0].make_initial_state(num_input_bytes)
+        for index in range(1, workers):
+            engines.append(SymbolicExecutor(
+                self.module, entry=self.entry,
+                searcher=_FrontierView(frontier, index),
+                solver=Solver(config=config, shared=shared),
+                limits=self.limits, stats=stats_list[index], budget=budget,
+                globals_map=engines[0]._globals,
+                input_variables=engines[0]._input_variables))
+        frontier.add(initial, 0)
+
+        failures: List[BaseException] = []
+
+        def worker_loop(index: int) -> None:
+            engine = engines[index]
+            while True:
+                state = frontier.pop(index)
+                if state is None:
+                    return
+                try:
+                    if engine._out_of_budget():
+                        state.status = StateStatus.TERMINATED
+                        engine.stats.paths_terminated += 1
+                    else:
+                        # A stolen state books its equality rewrites to the
+                        # thief's counters — never another thread's.
+                        state.attach_stats(engine.solver.stats)
+                        engine._run_state(state)
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    failures.append(exc)
+                    frontier.drain()
+                finally:
+                    frontier.task_done(index)
+
+        if workers == 1:
+            worker_loop(0)
+        else:
+            threads = [threading.Thread(target=worker_loop, args=(index,),
+                                        name=f"symex-worker-{index}")
+                       for index in range(workers)]
+            with _COARSE_SWITCHING:
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        if failures:
+            raise failures[0]
+
+        merged_stats = SymexStats(states_created=0)
+        for stats in stats_list:
+            merged_stats.merge(stats)
+        merged_stats.max_live_states = max(merged_stats.max_live_states,
+                                           frontier.high_water)
+        merged_stats.wall_seconds = time.perf_counter() - budget.start_time
+        merged_solver_stats = SolverStats()
+        for engine in engines:
+            merged_solver_stats.merge(engine.solver.stats)
+        return _merge_reports(merged_stats, merged_solver_stats,
+                              [engine.report for engine in engines])
+
+    # ------------------------------------------------------------ processes
+    def _run_processes(self, num_input_bytes: int) -> SymexReport:
+        """The escape hatch: farm subtrees to worker processes by
+        fork-decision trace (states themselves cannot cross the process
+        boundary)."""
+        import concurrent.futures
+
+        try:
+            module_bytes = pickle.dumps(self.module)
+        except Exception as exc:
+            raise RuntimeError(
+                "process-pool exploration needs a picklable module; "
+                f"use threads instead ({exc})") from exc
+
+        # Phase 1 (sequential bootstrap): widen the frontier breadth-first
+        # until there is a seed subtree per worker, recording traces.
+        config = self.solver_config
+        boot = SymbolicExecutor(self.module, entry=self.entry,
+                                searcher="bfs",
+                                solver=Solver(config=config),
+                                limits=self.limits, record_traces=True)
+        boot._budget = ExplorationBudget(self.limits, [boot.stats])
+        boot.searcher.add(boot.make_initial_state(num_input_bytes))
+        target = self.workers * PROCESS_SEEDS_PER_WORKER
+        while not boot.searcher.empty() and len(boot.searcher) < target:
+            if boot._out_of_budget():
+                break
+            boot._run_state(boot.searcher.pop())
+            boot.stats.max_live_states = max(boot.stats.max_live_states,
+                                             len(boot.searcher) + 1)
+        pending: List[ExecutionState] = []
+        while not boot.searcher.empty():
+            pending.append(boot.searcher.pop())
+        traces = [state.trace for state in pending]
+
+        reports: List[SymexReport] = [boot.report]
+        if traces:
+            # Workers get the *remaining* wall budget, not a fresh one —
+            # otherwise a budget-bound bootstrap plus full worker budgets
+            # could double the requested timeout.  (Instruction/fork
+            # limits stay per-worker: they bound memory/work per process,
+            # and the bootstrap's aggregate check caps the total.)
+            import dataclasses
+            elapsed = time.perf_counter() - boot._budget.start_time
+            remaining = max(0.0, self.limits.timeout_seconds - elapsed)
+            worker_limits = dataclasses.replace(self.limits,
+                                                timeout_seconds=remaining)
+            shards: List[List[Tuple[int, ...]]] = [
+                [] for _ in range(min(self.workers, len(traces)))]
+            for index, trace in enumerate(traces):
+                shards[index % len(shards)].append(trace)
+            payloads = [
+                (module_bytes, self.entry, self.searcher, config,
+                 worker_limits, num_input_bytes, shard)
+                for shard in shards]
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=len(shards)) as pool:
+                reports.extend(pool.map(_explore_traced_subtrees, payloads))
+
+        merged_stats = SymexStats(states_created=0)
+        merged_solver_stats = SolverStats()
+        for report in reports:
+            merged_stats.merge(report.stats)
+            merged_solver_stats.merge(report.solver_stats)
+        merged_stats.wall_seconds = \
+            time.perf_counter() - boot._budget.start_time
+        return _merge_reports(merged_stats, merged_solver_stats, reports)
+
+
+def _explore_traced_subtrees(payload: tuple) -> SymexReport:
+    """Process-pool worker: rebuild the module, replay each trace, explore
+    its subtree, and return the (picklable) report."""
+    (module_bytes, entry, searcher, config, limits, num_input_bytes,
+     traces) = payload
+    module = pickle.loads(module_bytes)
+    engine = SymbolicExecutor(module, entry=entry, searcher=searcher,
+                              solver=Solver(config=config), limits=limits,
+                              stats=SymexStats(states_created=0))
+    return engine.replay_run(num_input_bytes, traces)
+
+
+def explore_parallel(module: Module, num_input_bytes: int,
+                     entry: str = "main", searcher: str = "dfs",
+                     workers: int = 4,
+                     solver_config: Optional[SolverConfig] = None,
+                     limits: Optional[SymexLimits] = None,
+                     use_processes: bool = False) -> SymexReport:
+    """Convenience wrapper mirroring :func:`repro.symex.executor.explore`."""
+    executor = ParallelExecutor(module, entry=entry, searcher=searcher,
+                                workers=workers, solver_config=solver_config,
+                                limits=limits, use_processes=use_processes)
+    return executor.run(num_input_bytes)

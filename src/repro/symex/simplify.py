@@ -26,7 +26,7 @@ _VAR_CACHE_LIMIT = 4096
 def const(width: int, value: int) -> Expr:
     # Mask before keying so aliases of one constant (e.g. 256 and 0 at
     # width 8) share a single cache slot, as they share an interned node.
-    value &= mask(width)
+    value &= (1 << width) - 1
     key = (width, value)
     expr = _CONST_CACHE.get(key)
     if expr is None:
@@ -104,15 +104,15 @@ def _fold_binary(op: ExprOp, width: int, lhs: int, rhs: int,
 
 def binary(op: ExprOp, lhs: Expr, rhs: Expr) -> Expr:
     """Build a binary expression with folding and identity simplification."""
-    width = 1 if op in COMPARISON_OPS else lhs.width
+    is_comparison = op.is_comparison
+    width = 1 if is_comparison else lhs.width
     if lhs.is_constant and rhs.is_constant:
-        return const(width, _fold_binary(op, width if op not in COMPARISON_OPS
-                                         else lhs.width,
+        return const(width, _fold_binary(op, lhs.width if is_comparison
+                                         else width,
                                          lhs.value, rhs.value, lhs.width))
 
     # Canonicalize: constants on the right for commutative operators.
-    if op in (ExprOp.ADD, ExprOp.MUL, ExprOp.AND, ExprOp.OR, ExprOp.XOR,
-              ExprOp.EQ, ExprOp.NE) and lhs.is_constant:
+    if lhs.is_constant and op.is_commutative:
         lhs, rhs = rhs, lhs
 
     if rhs.is_constant:
@@ -129,13 +129,13 @@ def binary(op: ExprOp, lhs: Expr, rhs: Expr) -> Expr:
         if op is ExprOp.AND:
             if rv == 0:
                 return const(width, 0)
-            if rv == mask(width):
+            if rv == (1 << width) - 1:
                 return lhs
         if op is ExprOp.OR:
             if rv == 0:
                 return lhs
-            if rv == mask(width):
-                return const(width, mask(width))
+            if rv == (1 << width) - 1:
+                return rhs
         if op is ExprOp.XOR and rv == 0:
             return lhs
         if op in (ExprOp.SHL, ExprOp.LSHR, ExprOp.ASHR) and rv == 0:

@@ -47,8 +47,9 @@ budget is not exhausted; when it is, the query conservatively reports
 from __future__ import annotations
 
 import itertools
+import threading
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .expr import Expr, ExprOp, bounded_interval, mask, unsigned_interval
@@ -90,6 +91,14 @@ class SolverConfig:
     ubtree: bool = True
     rewrite_equalities: bool = True
     branch_and_prune: bool = True
+    #: Branch-and-prune splits bisect toward constants mentioned in the
+    #: constraints instead of interval midpoints (isolates the satisfying
+    #: band of equality/ordering constraints in O(1) splits instead of
+    #: O(log range)).
+    seeded_splits: bool = True
+    #: Size cap per UBTree counterexample index (stored sets, LRU-by-hit
+    #: eviction); 0 = unbounded.  Bounds the memory of very long runs.
+    ubtree_capacity: int = 0
 
 
 @dataclass
@@ -125,6 +134,18 @@ class SolverStats:
     def as_dict(self) -> Dict[str, float]:
         return asdict(self)
 
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate ``other`` into this object (summing every counter).
+
+        The parallel executor gives each worker its own stats object —
+        lock-free increments stay race-free because no two workers share
+        one — and merges them deterministically at the end of the run.
+        Note ``time_seconds`` sums *per-worker* solver time, so the merged
+        value can exceed wall-clock time."""
+        for field_info in fields(self):
+            name = field_info.name
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
 
 @dataclass
 class SolverResult:
@@ -137,13 +158,91 @@ class SolverResult:
     exact: bool = True
 
 
+class _NullLock:
+    """A no-op context manager: the lock of a single-owner cache stripe.
+
+    A private (non-shared) solver routes through the same stripe code as a
+    shared one; swapping the lock out for this keeps the sequential hot
+    path free of real lock traffic."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+class _CacheStripe:
+    """One shard of the solver's group-level caches.
+
+    Everything a group query touches lives together on its stripe — the
+    exact group-result cache, the SAT/UNSAT UBTree counterexample indices,
+    and the linear model-reuse list used when the UBTree is disabled — so
+    one lock acquisition covers a whole lookup or insertion."""
+
+    __slots__ = ("lock", "group_cache", "sat_index", "unsat_index", "models",
+                 "canonical_models")
+
+    def __init__(self, lock: object, ubtree_capacity: int) -> None:
+        self.lock = lock
+        self.group_cache: Dict[FrozenSet[Expr], SolverResult] = {}
+        self.sat_index = UBTree(capacity=ubtree_capacity)
+        self.unsat_index = UBTree(capacity=ubtree_capacity)
+        #: Recently used satisfying assignments, most recent first (the
+        #: linear scan used when the UBTree index is disabled).
+        self.models: List[Dict[str, int]] = []
+        #: Group -> the model a *fresh deterministic search* finds — a pure
+        #: function of the group, unlike the reuse-layer models above,
+        #: whose identity depends on what happened to be cached first.
+        #: Backs :meth:`Solver.concretization_model`.
+        self.canonical_models: Dict[FrozenSet[Expr], Dict[str, int]] = {}
+
+
+class SharedSolverCaches:
+    """The solver's group caches, sharded into lock stripes.
+
+    The parallel executor builds one of these and hands it to every
+    worker's :class:`Solver`: a constraint group is routed to the stripe
+    selected by its fingerprint (the hash of its interned constraint set),
+    so the same group always lands on the same stripe and a result solved
+    by one worker answers every other worker's queries about it — the
+    cross-worker reuse is what keeps the parallel run's total solver work
+    close to the sequential run's.  Lock striping bounds contention: two
+    workers only serialize when their groups collide on a stripe, and the
+    expensive searches themselves run outside the stripe lock (two workers
+    racing to solve the same group merely duplicate that one search; both
+    arrive at the same deterministic result).
+    """
+
+    def __init__(self, num_stripes: int = 1, ubtree_capacity: int = 0,
+                 locked: bool = True) -> None:
+        if num_stripes < 1:
+            raise ValueError("num_stripes must be >= 1")
+        make_lock = threading.Lock if locked else _NullLock
+        self.stripes: List[_CacheStripe] = [
+            _CacheStripe(make_lock(), ubtree_capacity)
+            for _ in range(num_stripes)]
+        self._num_stripes = num_stripes
+
+    def stripe_for(self, group_key: FrozenSet[Expr]) -> _CacheStripe:
+        """The stripe owning ``group_key`` (stable within a process:
+        interning makes the constraint set's hash reproducible for the
+        lifetime of its expressions)."""
+        if self._num_stripes == 1:
+            return self.stripes[0]
+        return self.stripes[hash(group_key) % self._num_stripes]
+
+
 class Solver:
     """A small, self-contained constraint solver for bitvector conjunctions."""
 
     def __init__(self, max_assignments: Optional[int] = None,
                  enable_independence: Optional[bool] = None,
                  enable_cache: Optional[bool] = None,
-                 config: Optional[SolverConfig] = None) -> None:
+                 config: Optional[SolverConfig] = None,
+                 shared: Optional[SharedSolverCaches] = None) -> None:
         config = config or SolverConfig()
         if max_assignments is not None:
             config = replace(config, max_assignments=max_assignments)
@@ -153,18 +252,20 @@ class Solver:
             config = replace(config, cache=enable_cache)
         self.config = config
         self.stats = SolverStats()
+        #: Full-query result cache.  Worker-local even under a shared cache
+        #: set: full queries are path-shaped and rarely collide across
+        #: workers, so sharing them would buy little and cost a lock.
         self._cache: Dict[FrozenSet[Expr], SolverResult] = {}
-        self._group_cache: Dict[FrozenSet[Expr], SolverResult] = {}
-        #: Recently used satisfying assignments, most recent first (the
-        #: linear model-reuse scan used when the UBTree is disabled).
-        self._models: List[Dict[str, int]] = []
-        #: UBTree indices of the counterexample cache: constraint sets of
-        #: exact SAT group answers (payload: their model) and of exact
-        #: UNSAT group answers (payload: True).
-        self._sat_index = UBTree()
-        self._unsat_index = UBTree()
+        #: The group-level caches (exact results, UBTree counterexample
+        #: indices, linear model list), possibly shared with other solvers
+        #: via lock stripes.  A private solver gets a single stripe with a
+        #: no-op lock, so the sequential path pays no lock traffic.
+        self._shared = shared or SharedSolverCaches(
+            1, ubtree_capacity=config.ubtree_capacity, locked=False)
         #: Unary constraint -> frozenset of satisfying variable values.
         #: Hash-consing makes the constraint expression itself the key.
+        #: Worker-local: it is a memo (cheap to recompute), and keeping it
+        #: off the stripes removes it from every lock footprint.
         self._unary_sat: Dict[Tuple[Expr, int], FrozenSet[int]] = {}
 
     # The pre-SolverConfig attribute spellings, kept as read-only views so
@@ -257,6 +358,212 @@ class Solver:
             return False, self.check(base).satisfiable
         false_result = self.check(base + [not_expr(condition)])
         return true_result.satisfiable, false_result.satisfiable
+
+    # ------------------------------------------------- partitioned queries
+    # The execution state already maintains its path condition as
+    # variable-disjoint groups; these entry points accept that partition
+    # directly, so the solver never re-derives it with a union-find.  The
+    # only coupling a query's extra constraints can introduce is between
+    # themselves and the groups sharing their variables, which one pass of
+    # set intersections finds.
+
+    def check_partition(self, varfree: Sequence[Expr],
+                        groups: Sequence[Sequence[Expr]],
+                        extras: Sequence[Expr] = ()) -> SolverResult:
+        """Satisfiability of ``varfree + groups + extras``, where ``groups``
+        are known variable-disjoint (a state's constraint partition)."""
+        start = time.perf_counter()
+        self.stats.queries += 1
+        try:
+            return self._check_partition(varfree, groups, extras)
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
+
+    def _filter_constraints(self, constraints: Sequence[Expr]
+                            ) -> Optional[List[Expr]]:
+        """Drop constraints decided by constant folding or the interval
+        fast path; ``None`` means one of them is provably false."""
+        remaining: List[Expr] = []
+        for constraint in constraints:
+            if constraint.is_constant:
+                if constraint.value == 0:
+                    self.stats.fast_path_decisions += 1
+                    return None
+                continue
+            low, high = unsigned_interval(constraint)
+            if high == 0:
+                self.stats.fast_path_decisions += 1
+                return None
+            if low >= 1:
+                self.stats.fast_path_decisions += 1
+                continue
+            remaining.append(constraint)
+        return remaining
+
+    def _check_partition(self, varfree: Sequence[Expr],
+                         groups: Sequence[Sequence[Expr]],
+                         extras: Sequence[Expr]) -> SolverResult:
+        group_list = list(groups)
+        for constraint in varfree:
+            if constraint.is_constant:
+                if constraint.value == 0:
+                    self.stats.fast_path_decisions += 1
+                    return SolverResult(False)
+            else:  # pragma: no cover - constructors fold variable-free exprs
+                group_list.append((constraint,))
+        extra_remaining = self._filter_constraints(extras)
+        if extra_remaining is None:
+            return SolverResult(False)
+        filtered_groups: List[List[Expr]] = []
+        remaining_all: List[Expr] = list(extra_remaining)
+        for group in group_list:
+            filtered = self._filter_constraints(group)
+            if filtered is None:
+                return SolverResult(False)
+            if filtered:
+                filtered_groups.append(filtered)
+                remaining_all.extend(filtered)
+        if not remaining_all:
+            return SolverResult(True, model={})
+        key = frozenset(remaining_all)
+        if self.enable_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        solve_groups: List[List[Expr]]
+        if extra_remaining:
+            extra_vars: set = set()
+            for constraint in extra_remaining:
+                extra_vars |= constraint.variables()
+            bridged: List[Expr] = list(extra_remaining)
+            solve_groups = []
+            for group in filtered_groups:
+                if any(constraint.variables() & extra_vars
+                       for constraint in group):
+                    bridged.extend(group)
+                else:
+                    solve_groups.append(group)
+            solve_groups.append(bridged)
+        else:
+            solve_groups = filtered_groups
+        combined_model: Dict[str, int] = {}
+        exact = True
+        for group in solve_groups:
+            result = self._solve_group(group)
+            if not result.satisfiable:
+                final = SolverResult(False, exact=result.exact)
+                if self.enable_cache and result.exact:
+                    self._cache[key] = final
+                return final
+            exact &= result.exact
+            if result.model:
+                combined_model.update(result.model)
+        final = SolverResult(True, model=combined_model, exact=exact)
+        if self.enable_cache and exact:
+            self._cache[key] = final
+        return final
+
+    def may_be_true_partition(self, varfree: Sequence[Expr],
+                              groups: Sequence[Sequence[Expr]],
+                              condition: Expr) -> bool:
+        """Partitioned :meth:`may_be_true`."""
+        if condition.is_constant:
+            return bool(condition.value)
+        return self.check_partition(varfree, groups, (condition,)).satisfiable
+
+    def check_branch_partition(self, varfree: Sequence[Expr],
+                               groups: Sequence[Sequence[Expr]],
+                               condition: Expr,
+                               assume_base_satisfiable: bool = True
+                               ) -> Tuple[bool, bool]:
+        """Partitioned :meth:`check_branch` (same work sharing between the
+        two sides of the fork)."""
+        if condition.is_constant:
+            truth = bool(condition.value)
+            return truth, not truth
+        self.stats.branch_checks += 1
+        true_result = self.check_partition(varfree, groups, (condition,))
+        if not true_result.satisfiable and true_result.exact:
+            self.stats.branch_sides_free += 1
+            if assume_base_satisfiable:
+                return False, True
+            return False, self.check_partition(varfree, groups).satisfiable
+        false_result = self.check_partition(varfree, groups,
+                                            (not_expr(condition),))
+        return true_result.satisfiable, false_result.satisfiable
+
+    def concretization_model(self, varfree: Sequence[Expr],
+                             groups: Sequence[Sequence[Expr]]
+                             ) -> Optional[Dict[str, int]]:
+        """A satisfying assignment whose *identity* depends only on the
+        query — never on cache contents or worker scheduling.
+
+        Satisfiability answers are deterministic everywhere (caches only
+        return answers a fresh search would also reach), but the reuse
+        layers may hand back *different models* for the same query
+        depending on what another query cached first.  That is fine for
+        witnesses, but the executor feeds one model back into control
+        flow — address concretization pins ``address == model value`` —
+        so it must come from this entry point: each group is solved by a
+        fresh deterministic search, memoized per group on its stripe
+        (the memoized value is a pure function of the group, so a race
+        merely duplicates the search)."""
+        start = time.perf_counter()
+        self.stats.queries += 1
+        try:
+            for constraint in varfree:
+                if constraint.is_constant and constraint.value == 0:
+                    return None
+            completed: Dict[str, int] = {}
+            for group in groups:
+                filtered = self._filter_constraints(group)
+                if filtered is None:
+                    return None
+                if not filtered:
+                    continue
+                key = frozenset(filtered)
+                stripe = self._shared.stripe_for(key)
+                with stripe.lock:
+                    model = stripe.canonical_models.get(key)
+                if model is None:
+                    result = self._solve_group_uncached(filtered)
+                    if not result.satisfiable or not result.exact or \
+                            result.model is None:
+                        return None
+                    model = dict(result.model)
+                    if self.enable_cache:
+                        with stripe.lock:
+                            stripe.canonical_models[key] = model
+                completed.update(model)
+            for group in groups:
+                for constraint in group:
+                    for name in constraint.variables():
+                        if name not in completed:
+                            completed[name] = 0
+            return completed
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
+
+    def model_for_partition(self, varfree: Sequence[Expr],
+                            groups: Sequence[Sequence[Expr]]
+                            ) -> Optional[Dict[str, int]]:
+        """Partitioned :meth:`get_model`: a satisfying assignment covering
+        every variable of the partition, or None.  Per-group results come
+        straight from the group caches, so a fully explored state's model
+        costs one dict union.  The model's identity may depend on cache
+        state; when the model feeds back into control flow, use
+        :meth:`concretization_model` instead."""
+        result = self.check_partition(varfree, groups)
+        if not result.satisfiable or not result.exact or result.model is None:
+            return None
+        completed = dict(result.model)
+        for group in groups:
+            for constraint in group:
+                for name in constraint.variables():
+                    if name not in completed:
+                        completed[name] = 0
+        return completed
 
     # ------------------------------------------------------------ internals
     def _check(self, constraints: List[Expr]) -> SolverResult:
@@ -353,69 +660,123 @@ class Solver:
     def _solve_group(self, constraints: List[Expr]) -> SolverResult:
         self.stats.group_queries += 1
         group_key = frozenset(constraints)
+        stripe = self._shared.stripe_for(group_key)
         if self.enable_cache:
-            cached = self._group_cache.get(group_key)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                return cached
-            if self.config.ubtree:
-                result = self._ubtree_lookup(constraints)
-                if result is not None:
-                    self._group_cache[group_key] = result
-                    return result
-            else:
-                reused = self._try_model_reuse(constraints)
-                if reused is not None:
-                    result = SolverResult(True, model=reused)
-                    self._group_cache[group_key] = result
-                    return result
+            with stripe.lock:
+                cached = stripe.group_cache.get(group_key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    return cached
+                if self.config.ubtree:
+                    # Under the lock: only the trie walks (they read the
+                    # shared structure).  Candidate-model *evaluations*
+                    # happen outside, below.
+                    unsat, superset_model, candidates = \
+                        self._ubtree_snapshot(stripe, constraints)
+                else:
+                    unsat, superset_model = False, None
+                    candidates = list(stripe.models)
+            result, winner = self._resolve_model_candidates(
+                constraints, unsat, superset_model, candidates,
+                counted_as_ubtree=self.config.ubtree)
+            if result is not None:
+                with stripe.lock:
+                    if not self.config.ubtree and winner >= 0:
+                        # LRU bump of the winning source model (candidates
+                        # snapshot order == stripe.models order).
+                        source = candidates[winner]
+                        try:
+                            index = stripe.models.index(source)
+                        except ValueError:
+                            index = -1  # evicted meanwhile; nothing to bump
+                        if index > 0:
+                            stripe.models.insert(
+                                0, stripe.models.pop(index))
+                    stripe.group_cache[group_key] = result
+                return result
+        # The search itself runs outside the stripe lock: it can be orders
+        # of magnitude more expensive than a lookup, and duplicating it in
+        # the (rare) event of two workers racing on one group is cheaper
+        # than serializing every colliding query behind it.
         result = self._solve_group_uncached(constraints)
         if self.enable_cache and result.exact:
-            self._group_cache[group_key] = result
-            if self.config.ubtree:
-                if result.satisfiable:
-                    if result.model:
-                        self._sat_index.insert(constraints,
-                                               dict(result.model))
-                else:
-                    self._unsat_index.insert(constraints, True)
-            elif result.satisfiable and result.model:
-                self._remember_model(result.model)
+            with stripe.lock:
+                stripe.group_cache[group_key] = result
+                if self.config.ubtree:
+                    if result.satisfiable:
+                        if result.model:
+                            stripe.sat_index.insert(constraints,
+                                                    dict(result.model))
+                    else:
+                        stripe.unsat_index.insert(constraints, True)
+                elif result.satisfiable and result.model:
+                    self._remember_model(stripe, result.model)
         return result
 
     # ---------------------------------------------------------- model reuse
-    def _ubtree_lookup(self, constraints: List[Expr]
-                       ) -> Optional[SolverResult]:
-        """Answer a group query from the UBTree counterexample index.
+    @staticmethod
+    def _ubtree_snapshot(stripe: _CacheStripe, constraints: List[Expr]
+                         ) -> Tuple[bool, Optional[Dict[str, int]],
+                                    List[Dict[str, int]]]:
+        """The trie walks of a counterexample-cache lookup (caller holds
+        the stripe lock): whether a cached UNSAT subset proves the query
+        UNSAT, a cached SAT superset's model if any, and up to
+        ``SUBSET_MODEL_TRIALS`` cached subset models to try as candidates.
+        Candidate *evaluation* is the expensive part and happens outside
+        the lock (:meth:`_resolve_model_candidates`)."""
+        if stripe.unsat_index.find_subset(constraints) is not None:
+            return True, None, []
+        superset_model = stripe.sat_index.find_superset(constraints)
+        if superset_model is not None:
+            return False, superset_model, []
+        candidates = []
+        for trial, model in enumerate(
+                stripe.sat_index.iter_subsets(constraints)):
+            if trial >= SUBSET_MODEL_TRIALS:
+                break
+            candidates.append(model)
+        return False, None, candidates
+
+    def _resolve_model_candidates(self, constraints: List[Expr],
+                                  unsat: bool,
+                                  superset_model: Optional[Dict[str, int]],
+                                  candidates: List[Dict[str, int]],
+                                  counted_as_ubtree: bool
+                                  ) -> Tuple[Optional[SolverResult], int]:
+        """Turn a lookup snapshot into ``(result, winning candidate index)``
+        — candidate evaluation runs outside any stripe lock; the index is
+        -1 unless a candidate model won (the linear mode's LRU bump needs
+        it).
 
         Three containment rules, in order of strength: a cached UNSAT set
         contained in the query proves UNSAT; a cached SAT superset's model
-        satisfies every queried constraint outright; a cached SAT subset's
-        model satisfies part of the query by construction and is tried as a
-        candidate for the rest (unmentioned variables default to zero).
+        satisfies every queried constraint outright; a cached subset's (or,
+        with the UBTree disabled, any recent) model satisfies part of the
+        query by construction and is tried as a candidate for the rest
+        (unmentioned variables default to zero).
         """
-        if self._unsat_index.find_subset(constraints) is not None:
+        if unsat:
             self.stats.ubtree_hits += 1
-            return SolverResult(False)
+            return SolverResult(False), -1
         variables: set = set()
         for constraint in constraints:
             variables |= constraint.variables()
-        superset_model = self._sat_index.find_superset(constraints)
         if superset_model is not None:
             self.stats.ubtree_hits += 1
             self.stats.model_cache_hits += 1
             candidate = {name: superset_model.get(name, 0)
                          for name in variables}
-            return SolverResult(True, model=candidate)
-        for trial, model in enumerate(
-                self._sat_index.iter_subsets(constraints)):
-            if trial >= SUBSET_MODEL_TRIALS:
-                break
+            return SolverResult(True, model=candidate), -1
+        for index, model in enumerate(candidates):
             candidate = {name: model.get(name, 0) for name in variables}
             if all(c.evaluate(candidate) == 1 for c in constraints):
-                self.stats.ubtree_hits += 1
+                if counted_as_ubtree:
+                    self.stats.ubtree_hits += 1
                 self.stats.model_cache_hits += 1
-                return SolverResult(True, model=candidate)
+                return SolverResult(True, model=candidate), index
+        if not counted_as_ubtree:
+            # The linear scan exhausted the recent models: a plain miss.
+            return None, -1
         # The all-zeros assignment is the cache's implicit first entry: it
         # is what every cached model defaults unmentioned variables to, so
         # trying it keeps the disjoint-variable hits the linear scan got
@@ -425,39 +786,16 @@ class Solver:
         zeros = dict.fromkeys(variables, 0)
         if all(c.evaluate(zeros) == 1 for c in constraints):
             self.stats.model_cache_hits += 1
-            return SolverResult(True, model=zeros)
+            return SolverResult(True, model=zeros), -1
         self.stats.ubtree_misses += 1
-        return None
+        return None, -1
 
-    def _try_model_reuse(self, constraints: List[Expr]
-                         ) -> Optional[Dict[str, int]]:
-        """Try recently seen models against the query before searching (the
-        linear scan used when the UBTree index is disabled).
-
-        A hit covers both cache directions at once: the model of a superset
-        query trivially satisfies a subset query, and a subset query's model
-        extends to a superset query whenever the extra constraints happen to
-        hold under it (unmentioned variables default to zero).
-        """
-        if not self._models:
-            return None
-        variables: set = set()
-        for constraint in constraints:
-            variables |= constraint.variables()
-        for index, model in enumerate(self._models):
-            candidate = {name: model.get(name, 0) for name in variables}
-            if all(c.evaluate(candidate) == 1 for c in constraints):
-                self.stats.model_cache_hits += 1
-                if index:
-                    self._models.insert(0, self._models.pop(index))
-                return candidate
-        return None
-
-    def _remember_model(self, model: Dict[str, int]) -> None:
+    @staticmethod
+    def _remember_model(stripe: _CacheStripe, model: Dict[str, int]) -> None:
         if not model:
             return
-        self._models.insert(0, model)
-        del self._models[MODEL_CACHE_SIZE:]
+        stripe.models.insert(0, model)
+        del stripe.models[MODEL_CACHE_SIZE:]
 
     # ----------------------------------------------------------- CSP search
     def _solve_group_uncached(self, constraints: List[Expr]) -> SolverResult:
@@ -572,16 +910,54 @@ class Solver:
         (:func:`bounded_interval`): a constraint whose interval is exactly 0
         prunes the box, a box where every constraint's interval is exactly 1
         yields a model immediately, and boxes small enough are enumerated
-        concretely.  Otherwise the widest interval is split at its midpoint
-        and both halves are searched.  Interval arithmetic is conservative,
-        so pruning never loses a solution: an UNSAT answer is exact unless
-        the split/assignment budget ran out, in which case the result is
-        the conservative "maybe satisfiable".
+        concretely.  Otherwise the widest interval is split and both halves
+        are searched.  Interval arithmetic is conservative, so pruning
+        never loses a solution: an UNSAT answer is exact unless the
+        split/assignment budget ran out, in which case the result is the
+        conservative "maybe satisfiable".
+
+        With ``SolverConfig.seeded_splits`` (default on) the split point
+        bisects toward a constant mentioned in the constraints instead of
+        the interval midpoint.  The satisfying band of an equality or
+        ordering constraint starts or ends at such a constant, so splitting
+        at ``c``/``c - 1`` makes one half decidable by the interval
+        transfer almost immediately — an equality-heavy query resolves in
+        O(#constants) splits where midpoint bisection needs O(log range)
+        per constant.  Midpoints remain the fallback when no constant lies
+        strictly inside the interval.
         """
         box = {name: (0, mask(widths.get(name, 8))) for name in variables}
         budget = [self.max_assignments]
         splits = [BNP_MAX_SPLITS]
         exhausted = [False]
+        split_seeds: List[int] = []
+        if self.config.seeded_splits:
+            # c ends the satisfying band of "x <= c"/"x == c"; c - 1 ends
+            # the band of "x < c" and isolates c itself on the next split.
+            # The signed boundary of each variable width joins the seeds:
+            # it is the one point the unsigned interval transfer cannot
+            # reason across, so splitting exactly there turns a
+            # sign-crossing box into two sign-pure (decidable) halves —
+            # and a seed split elsewhere must not knock later bisection
+            # off that alignment.
+            points = {point for seed in self._constant_seeds(constraints)
+                      for point in (seed - 1, seed)}
+            points.update((1 << (widths.get(name, 8) - 1)) - 1
+                          for name in variables)
+            split_seeds = sorted(points)
+
+        def split_point(low: int, high: int) -> int:
+            mid = (low + high) // 2
+            best = mid
+            best_distance = None
+            for point in split_seeds:
+                if low <= point < high:
+                    distance = abs(point - mid)
+                    if best_distance is None or distance < best_distance:
+                        best, best_distance = point, distance
+                elif point >= high:
+                    break
+            return best
 
         def enumerate_box(current: Dict[str, Tuple[int, int]],
                           undecided: List[Expr]
@@ -625,7 +1001,7 @@ class Solver:
             self.stats.prune_splits += 1
             name = max(current, key=lambda n: current[n][1] - current[n][0])
             low, high = current[name]
-            mid = (low + high) // 2
+            mid = split_point(low, high)
             for half in ((low, mid), (mid + 1, high)):
                 result = search({**current, name: half})
                 if result is not None:

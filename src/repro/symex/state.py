@@ -25,11 +25,23 @@ Forking is copy-on-write throughout: stack frames share their SSA binding
 dicts until one side writes, the symbolic memory shares its byte dict the
 same way, and the constraint groups are immutable tuples shared by
 reference.
+
+**Ownership under parallel exploration.**  A state is owned by exactly one
+worker at a time: the worker that pops it from the frontier runs it until
+it forks, completes, or errors, and forking happens only on the owning
+worker's thread.  The COW invariant that makes this safe is that a shared
+structure (a binding dict, the memory's byte dict, a constraint-group
+tuple) is *never mutated in place* once it is marked shared — each side
+copies before its first write — so a stolen child can read the structures
+it shares with a still-running parent without synchronization.  The only
+cross-thread mutation is the state-id counter, which is an atomic
+``itertools.count``.
 """
 
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -94,13 +106,16 @@ class StackFrame:
 class ExecutionState:
     """A single path being explored: call stack + memory + path constraints."""
 
-    _next_id = 0
+    #: Id allocator.  ``next()`` on an ``itertools.count`` is atomic in
+    #: CPython, so concurrently forking workers never mint duplicate ids
+    #: (the *values* still depend on scheduling; nothing may key
+    #: deterministic output on them).
+    _next_id = itertools.count(1)
 
     def __init__(self, memory: Optional[SymbolicMemory] = None,
                  rewrite_equalities: bool = True,
                  solver_stats: Optional[object] = None) -> None:
-        ExecutionState._next_id += 1
-        self.state_id = ExecutionState._next_id
+        self.state_id = next(ExecutionState._next_id)
         self.stack: List[StackFrame] = []
         self.memory = memory or SymbolicMemory()
         self.constraints: List[Expr] = []
@@ -134,6 +149,14 @@ class ExecutionState:
         self.instructions_executed = 0
         self.forks = 0
         self.depth = 0  # number of branch decisions taken
+        #: The fork decisions that produced this state, one element per
+        #: *queueing* fork point (branch: 1 = true side, 0 = false side;
+        #: switch: index into the feasible-target list).  Replaying the
+        #: trace in a fresh process deterministically reconstructs the
+        #: state — the process-pool escape hatch ships traces, not states.
+        #: Recorded only by executors built with ``record_traces=True``
+        #: (the process-mode bootstrap); everywhere else it stays ``()``.
+        self.trace: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------- frames
     @property
@@ -173,6 +196,7 @@ class ExecutionState:
         clone.status = self.status
         clone.instructions_executed = self.instructions_executed
         clone.depth = self.depth
+        clone.trace = self.trace
         self.forks += 1
         return clone
 
@@ -310,6 +334,14 @@ class ExecutionState:
         if stats is not None:
             stats.equality_rewrites += count
 
+    def attach_stats(self, solver_stats: Optional[object]) -> None:
+        """Point ``equality_rewrites`` accounting at ``solver_stats``.
+
+        The parallel executor re-attaches a state to the stats object of
+        the worker that popped it, so a stolen state never does a
+        read-modify-write on another worker's counters."""
+        self._solver_stats = solver_stats
+
     def relevant_constraints(self, expr: Expr) -> List[Expr]:
         """The subset of the path condition that can influence ``expr``:
         every group sharing a variable with it, plus variable-free
@@ -322,6 +354,25 @@ class ExecutionState:
         for key in sorted(keys):
             relevant.extend(self._groups[key][1])
         return relevant
+
+    def relevant_partition(self, expr: Expr
+                           ) -> Tuple[Tuple[Expr, ...],
+                                      List[Tuple[Expr, ...]]]:
+        """Like :meth:`relevant_constraints`, but preserving the partition:
+        ``(variable-free constraints, [group, ...])``.  Feeding the solver
+        the partition the state already maintains lets it skip re-deriving
+        the independent groups with a union-find on every query
+        (:meth:`repro.symex.solver.Solver.check_branch_partition`)."""
+        keys = {self._var_group[name] for name in expr.variables()
+                if name in self._var_group}
+        return self._varfree, [self._groups[key][1] for key in sorted(keys)]
+
+    def full_partition(self) -> Tuple[Tuple[Expr, ...],
+                                      List[Tuple[Expr, ...]]]:
+        """The whole path condition as ``(variable-free constraints,
+        [group, ...])`` — the input shape of
+        :meth:`repro.symex.solver.Solver.model_for_partition`."""
+        return self._varfree, [group for _, group in self._groups.values()]
 
     def constraint_groups(self) -> List[Tuple[Expr, ...]]:
         """The current partition (for tests/diagnostics)."""

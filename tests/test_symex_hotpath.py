@@ -656,6 +656,74 @@ class TestBranchAndPrune:
             negative.evaluate(sat.model) == 1
 
 
+class TestSeededSplits:
+    """Branch-and-prune split points bisect toward constraint constants
+    (ROADMAP follow-on): the satisfying band of an equality starts at such
+    a constant, so seeded splits isolate it in O(1) instead of walking
+    O(log range) midpoints."""
+
+    def _equality_heavy_query(self, suffix):
+        w = var(32, f"seeded_{suffix}")
+        m = var(32, f"seeded_m_{suffix}")
+        return [
+            binary(ExprOp.EQ, w, const(32, 123456)),
+            binary(ExprOp.EQ, m, const(32, 987654)),
+            binary(ExprOp.ULT, w, m),
+        ]
+
+    def test_fewer_prune_splits_on_equality_heavy_wide_query(self):
+        seeded = Solver(config=SolverConfig(seeded_splits=True))
+        midpoint = Solver(config=SolverConfig(seeded_splits=False))
+        seeded_result = seeded.check(self._equality_heavy_query("on"))
+        midpoint_result = midpoint.check(self._equality_heavy_query("off"))
+        assert seeded_result.satisfiable and seeded_result.exact
+        assert midpoint_result.satisfiable and midpoint_result.exact
+        assert seeded.stats.prune_splits < midpoint.stats.prune_splits, \
+            (seeded.stats.prune_splits, midpoint.stats.prune_splits)
+        # The win is structural, not marginal: each equality resolves in a
+        # couple of splits instead of a midpoint descent per constant.
+        assert seeded.stats.prune_splits <= \
+            midpoint.stats.prune_splits // 2
+
+    def test_seeded_and_midpoint_agree(self):
+        """Split-point choice is a heuristic: both configurations must
+        reach the same (exact) answers and valid models."""
+        cases = [
+            [binary(ExprOp.EQ, var(32, "sag_a"), const(32, 70000))],
+            [binary(ExprOp.ULT, var(32, "sag_b"), const(32, 3)),
+             binary(ExprOp.ULT, const(32, 100_000), var(32, "sag_b"))],
+            [binary(ExprOp.ULT, const(32, 5), var(32, "sag_c")),
+             binary(ExprOp.ULT, var(32, "sag_c"), const(32, 1_000_000))],
+        ]
+        for constraints in cases:
+            seeded = Solver(config=SolverConfig(seeded_splits=True))
+            midpoint = Solver(config=SolverConfig(seeded_splits=False))
+            a = seeded.check(constraints)
+            b = midpoint.check(constraints)
+            assert a.satisfiable == b.satisfiable
+            assert a.exact and b.exact
+            for result in (a, b):
+                if result.satisfiable:
+                    assert all(c.evaluate(result.model) == 1
+                               for c in constraints)
+
+    def test_unsat_equality_pair_proved_quickly(self):
+        solver = Solver()
+        w = var(32, "seeded_unsat")
+        result = solver.check([
+            binary(ExprOp.EQ, w, const(32, 55555)),
+            binary(ExprOp.EQ, w, const(32, 66666)),
+        ])
+        assert not result.satisfiable and result.exact
+        assert solver.stats.prune_splits <= 8
+
+    def test_backend_flag_reaches_config(self):
+        from repro.verification import make_backend
+        backend = make_backend("symex<seeded-splits=off>")
+        assert backend.solver_config.seeded_splits is False
+        assert "seeded-splits=off" in backend.describe()
+
+
 # ---------------------------------------------------------------------------
 # Copy-on-write forking
 # ---------------------------------------------------------------------------
