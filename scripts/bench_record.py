@@ -25,8 +25,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from repro.pipelines import CompileOptions, OptLevel, compile_source  # noqa: E402
-from repro.frontend import compile_to_ir  # noqa: E402
+from repro.pipelines import (  # noqa: E402
+    CompileOptions, LEVEL_PIPELINES, OptLevel, build_pipeline_from_text,
+    compile_source, link_sources,
+)
+from repro.frontend import analyze, compile_to_ir, lower, parse  # noqa: E402
+from repro.ir import verify_module  # noqa: E402
 from repro.symex import SymexLimits, explore, explore_parallel  # noqa: E402
 from repro.workloads import WC_PROGRAM  # noqa: E402
 
@@ -59,6 +63,47 @@ def _solver_summary(report, seconds: float) -> dict:
     }
 
 
+#: The verification-oriented scalar passes whose path contribution the
+#: trajectory tracks (each is ablated from -O2 in turn).
+ABLATABLE_PASSES = ("sccp", "load-elim", "algebraic-simplify")
+
+
+def _explore_pipeline_text(text: str) -> tuple:
+    """(paths, interpreted instructions) for wc compiled through ``text``."""
+    source = link_sources(WC_PROGRAM, CompileOptions(level=OptLevel.O2))
+    unit = parse(source)
+    analyze(unit)
+    module = lower(unit, "wc")
+    pipeline = build_pipeline_from_text(text, max_iterations=2)
+    pipeline.run_until_fixpoint(module)
+    verify_module(module)
+    report = explore(module, WC_INPUT_BYTES,
+                     limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+    return report.stats.total_paths, report.stats.instructions_interpreted
+
+
+def _pass_path_deltas(o2_paths: int) -> dict:
+    full_text = LEVEL_PIPELINES[OptLevel.O2]
+    full_paths, full_instructions = _explore_pipeline_text(full_text)
+    deltas: dict = {
+        "level": str(OptLevel.O2),
+        "paths_full": full_paths,
+        "instructions_full": full_instructions,
+        "consistent_with_sweep": full_paths == o2_paths,
+    }
+    for name in ABLATABLE_PASSES:
+        ablated_text = full_text.replace(f"{name},", "")
+        assert ablated_text != full_text, f"{name} not in the -O2 pipeline"
+        paths, instructions = _explore_pipeline_text(ablated_text)
+        deltas[name] = {
+            "paths_without": paths,
+            "paths_saved": paths - full_paths,
+            "instructions_without": instructions,
+            "instructions_saved": instructions - full_instructions,
+        }
+    return deltas
+
+
 def measure(label: str) -> dict:
     entry: dict = {"label": label,
                    "recorded_at": datetime.now(timezone.utc)
@@ -82,6 +127,15 @@ def measure(label: str) -> dict:
         sweep[str(level)] = _solver_summary(report, seconds)
     entry["wc_sweep"] = sweep
     entry["wc_sweep_total_verify_seconds"] = round(total, 3)
+
+    # Per-pass path attribution: rerun the -O2 pipeline with each of the
+    # path-oriented passes ablated and record how many paths (and
+    # interpreted instructions) the full pipeline saves over each ablation.
+    # A zero paths_saved entry is information, not a bug: on all-scalar wc
+    # the pass may only shrink instruction counts, with its path wins
+    # reserved for flag-through-memory workloads.
+    entry["pass_path_deltas"] = _pass_path_deltas(
+        sweep[str(OptLevel.O2)]["paths"])
 
     module = compile_to_ir(BRANCH_HEAVY_PROGRAM)
     start = time.perf_counter()

@@ -42,6 +42,37 @@ echo "== docs gate: every docs/*.md referenced from README, no dead links =="
 python scripts/check_docs.py
 
 echo
+echo "== registry lint: pipeline round-trips + docs/passes.md catalogue =="
+python - <<'PY'
+from pathlib import Path
+
+from repro.passes import format_pipeline, parse_pipeline, pass_names
+from repro.pipelines import LEVEL_PIPELINES, OptLevel
+
+# Every level string is canonical: it renders back to itself.
+for level, text in LEVEL_PIPELINES.items():
+    rendered = format_pipeline(parse_pipeline(text))
+    assert rendered == text, f"{level} pipeline is not canonical:\n{rendered}"
+
+# Every registered pass round-trips standalone through parse/format.
+for name in pass_names():
+    assert format_pipeline(parse_pipeline(name)) == name, name
+
+# The path-count passes must stay registered and in the -O2 pipeline.
+required = {"sccp", "load-elim", "algebraic-simplify"}
+assert required <= set(pass_names()), required - set(pass_names())
+for name in required:
+    assert name in LEVEL_PIPELINES[OptLevel.O2], f"{name} missing from -O2"
+
+# docs/passes.md is the complete catalogue: every registered pass appears.
+catalogue = Path("docs/passes.md").read_text(encoding="utf-8")
+missing = [name for name in pass_names() if f"`{name}`" not in catalogue]
+assert not missing, f"docs/passes.md is missing: {missing}"
+print(f"{len(pass_names())} passes: canonical round-trips, "
+      f"all catalogued in docs/passes.md")
+PY
+
+echo
 echo "== parallel exploration smoke: workers=4 must match workers=1 =="
 python - <<'PY'
 from repro.pipelines import CompileOptions, OptLevel, compile_source
@@ -72,6 +103,8 @@ SOLVER_DIFFERENTIAL_WIDE_QUERIES=60 \
 
 echo
 echo "== benchmark smoke (compile pipeline + session sweep + solver hot path, no timing rounds) =="
+# Timing assertions are skipped under --benchmark-disable, but the wc
+# sweep's exact per-level path counts (WC_SWEEP_PATHS) are always asserted.
 python -m pytest benchmarks/test_pipeline_compile_bench.py \
     benchmarks/test_session_bench.py \
     benchmarks/test_symex_solver_bench.py -q --benchmark-disable

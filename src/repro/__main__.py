@@ -22,12 +22,13 @@ from typing import List, Optional
 from .frontend import CompileError, analyze, lower, parse as parse_minic
 from .ir import verify_module
 from .passes import (
-    PipelineSyntaxError, format_pipeline, parse_pipeline, registered_passes,
+    AnalysisManager, PipelineSpec, PipelineSyntaxError, format_pass,
+    format_pipeline, parse_pipeline, registered_passes,
 )
 from .pipelines import (
     CompileOptions, CompilerSession, LEVEL_PIPELINES, OptLevel,
-    build_pipeline_from_spec, level_spec_string, link_sources,
-    parse_opt_level,
+    build_pipeline_from_spec, level_spec, level_spec_string, link_sources,
+    parse_opt_level, with_entry_points, with_runtime_checks,
 )
 from .verification import (
     BackendSpecError, VerificationRequest, backend_names, make_backend,
@@ -56,6 +57,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="disable -OVERIFY runtime-check insertion")
     parser.add_argument("--show-pipeline", action="store_true",
                         help="only print the pipeline string and exit")
+    parser.add_argument("--explain-paths", action="store_true",
+                        help="run the pipeline one pass at a time, "
+                             "symbolically exploring after each, and print "
+                             "the per-pass path-count deltas")
     parser.add_argument("--verify", action="store_true",
                         help="run the verification backend on the build")
     parser.add_argument("--run", action="store_true",
@@ -99,6 +104,47 @@ def _list_levels() -> int:
     return 0
 
 
+def _explain_paths(source: str, name: str, options: CompileOptions,
+                   spec: PipelineSpec, input_bytes: int,
+                   timeout: float) -> int:
+    """Run the pipeline one pass at a time, symbolically exploring the
+    module after each, and print every pass's path-count delta.  This
+    attributes the -O0 → -OVERIFY path collapse to individual passes
+    instead of reporting only the endpoints."""
+    from .symex import SymexLimits, explore
+
+    full_source = link_sources(source, options)
+    unit = parse_minic(full_source)
+    analyze(unit)
+    module = lower(unit, name)
+    verify_module(module)
+    limits = SymexLimits(timeout_seconds=timeout)
+
+    def count_paths() -> int:
+        return explore(module, input_bytes, limits=limits).stats.total_paths
+
+    baseline = count_paths()
+    print(f"path counts over {input_bytes} symbolic input bytes "
+          f"(single pipeline iteration):")
+    print(f"  {'(front end)':<36} {baseline:>7} paths")
+    analyses = AnalysisManager()
+    previous = baseline
+    for pass_spec in spec.passes:
+        stage = build_pipeline_from_spec(PipelineSpec((pass_spec,)),
+                                         analyses=analyses)
+        stage.run(module)
+        verify_module(module)
+        paths = count_paths()
+        delta = f"{paths - previous:+d}" if paths != previous else ""
+        print(f"  {format_pass(pass_spec):<36} {paths:>7} paths  {delta}")
+        previous = paths
+    removed = baseline - previous
+    print(f"total    : {baseline} -> {previous} paths "
+          f"({removed} removed, {removed / baseline:.0%})" if baseline
+          else f"total    : {baseline} -> {previous} paths")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -139,6 +185,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     options = CompileOptions(level=level,
                              enable_runtime_checks=not args.no_checks)
+
+    if args.explain_paths:
+        try:
+            if args.passes is not None:
+                spec = parse_pipeline(args.passes)
+            else:
+                spec = with_runtime_checks(level_spec(level),
+                                           not args.no_checks)
+                spec = with_entry_points(spec, {"main"})
+            return _explain_paths(source, name, options, spec,
+                                  input_bytes, args.timeout)
+        except (CompileError, PipelineSyntaxError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     try:
         if args.passes is not None:

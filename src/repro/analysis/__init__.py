@@ -17,10 +17,11 @@ from .metrics import (
     verification_cost_estimate,
 )
 from .value_range import Interval, ValueRangeAnalysis, full_range
+from .memory_ssa import AvailableMemory, FactMap, MemoryFact
 from .manager import (
     ALL_ANALYSES, CALLGRAPH_ANALYSIS, CFG_ANALYSIS, CFG_DERIVED,
-    DOMTREE_ANALYSIS, FUNCTION_ANALYSES, LOOPS_ANALYSIS, MODULE_ANALYSES,
-    RANGES_ANALYSIS, AnalysisManager, AnalysisManagerStats,
+    DOMTREE_ANALYSIS, FUNCTION_ANALYSES, LOOPS_ANALYSIS, MEMORY_ANALYSIS,
+    MODULE_ANALYSES, RANGES_ANALYSIS, AnalysisManager, AnalysisManagerStats,
     AnalysisTransferSource, PreservedAnalyses,
 )
 
@@ -37,9 +38,10 @@ __all__ = [
     "FunctionMetrics", "ModuleMetrics", "function_metrics", "module_metrics",
     "verification_cost_estimate",
     "Interval", "ValueRangeAnalysis", "full_range",
+    "AvailableMemory", "FactMap", "MemoryFact",
     "AnalysisManager", "AnalysisManagerStats", "AnalysisTransferSource",
     "PreservedAnalyses",
     "ALL_ANALYSES", "FUNCTION_ANALYSES", "MODULE_ANALYSES", "CFG_DERIVED",
     "CFG_ANALYSIS", "DOMTREE_ANALYSIS", "LOOPS_ANALYSIS", "RANGES_ANALYSIS",
-    "CALLGRAPH_ANALYSIS",
+    "MEMORY_ANALYSIS", "CALLGRAPH_ANALYSIS",
 ]

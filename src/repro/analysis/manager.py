@@ -33,6 +33,7 @@ from .callgraph import CallGraph
 from .cfg import CFG
 from .dominators import DominatorTree
 from .loops import LoopInfo
+from .memory_ssa import AvailableMemory
 from .value_range import ValueRangeAnalysis
 
 # Analysis names.  Function-level analyses are cached per (analysis,
@@ -41,10 +42,12 @@ CFG_ANALYSIS = "cfg"
 DOMTREE_ANALYSIS = "domtree"
 LOOPS_ANALYSIS = "loops"
 RANGES_ANALYSIS = "ranges"
+MEMORY_ANALYSIS = "memory"
 CALLGRAPH_ANALYSIS = "callgraph"
 
 FUNCTION_ANALYSES: Tuple[str, ...] = (
-    CFG_ANALYSIS, DOMTREE_ANALYSIS, LOOPS_ANALYSIS, RANGES_ANALYSIS)
+    CFG_ANALYSIS, DOMTREE_ANALYSIS, LOOPS_ANALYSIS, RANGES_ANALYSIS,
+    MEMORY_ANALYSIS)
 MODULE_ANALYSES: Tuple[str, ...] = (CALLGRAPH_ANALYSIS,)
 ALL_ANALYSES: Tuple[str, ...] = FUNCTION_ANALYSES + MODULE_ANALYSES
 
@@ -234,6 +237,9 @@ class AnalysisManager:
     def value_ranges(self, function: Function) -> ValueRangeAnalysis:
         return self._get_function(RANGES_ANALYSIS, function)  # type: ignore
 
+    def available_memory(self, function: Function) -> AvailableMemory:
+        return self._get_function(MEMORY_ANALYSIS, function)  # type: ignore
+
     def call_graph(self, module: Module) -> CallGraph:
         return self._get_module(CALLGRAPH_ANALYSIS, module)  # type: ignore
 
@@ -270,6 +276,8 @@ class AnalysisManager:
                             cfg=self.cfg(function))
         if name == RANGES_ANALYSIS:
             return ValueRangeAnalysis(function, cfg=self.cfg(function))
+        if name == MEMORY_ANALYSIS:
+            return AvailableMemory(function, cfg=self.cfg(function))
         raise KeyError(f"unknown function analysis '{name}'")
 
     def _get_module(self, name: str, module: Module) -> object:

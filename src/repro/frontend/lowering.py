@@ -495,8 +495,64 @@ class _FunctionLowering:
         address = self.builder.gep(pointer, [scaled], element.to_ir())
         return address, pointer_type
 
+    #: Binary operators whose evaluation can never trap or write memory.
+    _PURE_BINARY_OPS = frozenset(
+        {"+", "-", "*", "&", "|", "^", "<<", ">>",
+         "==", "!=", "<", "<=", ">", ">="})
+
+    def _is_speculatable(self, expr: ast.Expr) -> bool:
+        """Whether evaluating ``expr`` unconditionally is unobservable.
+
+        A short-circuit operand that cannot trap, write memory, or call a
+        function may be evaluated speculatively, which lets ``&&``/``||``
+        lower to straight-line bitwise ``and``/``or`` instead of a branch
+        diamond.  Division and modulo are excluded (a zero divisor is a
+        runtime error that short-circuiting may be guarding against);
+        dereferences, indexing, member access, assignments, and calls are
+        excluded for the same reason.  Reads of scalar locals are allowed:
+        a load from a stack slot cannot trap in the flat memory model.
+        """
+        if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+            return True
+        if isinstance(expr, ast.Identifier):
+            return isinstance(expr.ctype, (CInt, CPointer))
+        if isinstance(expr, ast.UnaryOp):
+            return expr.op in ("!", "-", "~", "+") and \
+                self._is_speculatable(expr.operand)
+        if isinstance(expr, ast.BinaryOp):
+            return expr.op in self._PURE_BINARY_OPS and \
+                self._is_speculatable(expr.lhs) and \
+                self._is_speculatable(expr.rhs)
+        if isinstance(expr, ast.LogicalOp):
+            return self._is_speculatable(expr.lhs) and \
+                self._is_speculatable(expr.rhs)
+        if isinstance(expr, ast.Cast):
+            return self._is_speculatable(expr.operand)
+        return False
+
     def _lower_logical(self, expr: ast.LogicalOp) -> Tuple[Value, CType]:
-        """Short-circuit ``&&`` / ``||`` via a result slot and branches."""
+        """Short-circuit ``&&`` / ``||``.
+
+        When the right-hand side is speculation-safe (no traps, no side
+        effects, no calls) the operator is lowered branch-free, as a bitwise
+        ``and``/``or`` of the two ``i1`` truth values — the same fold GCC
+        and Clang apply to cheap short-circuit operands.  For a verifier
+        this is the single most valuable compilation choice the front end
+        can make: every avoided branch halves the path count of the code
+        downstream, at every optimization level including ``-O0``.
+
+        Otherwise the classic lowering applies: a result slot plus a branch
+        diamond that skips the right-hand side.
+        """
+        if self._is_speculatable(expr.rhs):
+            lhs = self.lower_condition(expr.lhs)
+            rhs = self.lower_condition(expr.rhs)
+            if expr.op == "&&":
+                combined = self.builder.and_(lhs, rhs)
+            else:
+                combined = self.builder.or_(lhs, rhs)
+            return self.builder.zext(combined, I32), INT
+
         result_slot = self.builder.alloca(I32, name="logical.result")
         rhs_block = self._new_block("logical.rhs")
         end_block = self._new_block("logical.end")

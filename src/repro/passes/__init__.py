@@ -11,9 +11,15 @@ from .registry import (
 from .mem2reg import PromoteMemoryToRegisters
 from .sroa import ScalarReplacementOfAggregates
 from .constprop import ConstantPropagation, fold_instruction
+from .sccp import (
+    BOTTOM_CELL, LatticeCell, SparseConditionalConstantPropagation, TOP_CELL,
+    const_cell, meet,
+)
 from .instcombine import InstCombine
+from .algebra import AlgebraicSimplify
 from .dce import DeadCodeElimination, GlobalDCE
 from .gvn import GlobalValueNumbering
+from .load_elim import LoadElimination
 from .simplifycfg import SimplifyCFG
 from .inline import InlineParams, Inliner, inline_call
 from .ifconvert import IfConversion, IfConversionParams
@@ -38,9 +44,13 @@ __all__ = [
     "PromoteMemoryToRegisters",
     "ScalarReplacementOfAggregates",
     "ConstantPropagation", "fold_instruction",
+    "SparseConditionalConstantPropagation",
+    "LatticeCell", "TOP_CELL", "BOTTOM_CELL", "const_cell", "meet",
     "InstCombine",
+    "AlgebraicSimplify",
     "DeadCodeElimination", "GlobalDCE",
     "GlobalValueNumbering",
+    "LoadElimination",
     "SimplifyCFG",
     "InlineParams", "Inliner", "inline_call",
     "IfConversion", "IfConversionParams",

@@ -51,6 +51,14 @@ class TransformStats:
     annotations_added: int = 0
     functions_removed: int = 0
 
+    # Counters for the path-count-oriented passes (SCCP, load elimination,
+    # algebraic simplification).
+    branch_edges_deleted: int = 0
+    blocks_removed: int = 0
+    loads_eliminated: int = 0
+    expressions_simplified: int = 0
+    comparisons_canonicalized: int = 0
+
     # Analysis-cache behaviour of the pipeline run (filled in by the pass
     # manager from the analysis manager's counters).
     analysis_cache_hits: int = 0

@@ -81,29 +81,40 @@ LEVEL_PIPELINES: Dict[OptLevel, str] = {
     # (they would otherwise confuse the dominance-based analyses).
     OptLevel.O0: "simplifycfg",
 
-    OptLevel.O1: f"simplifycfg,mem2reg,{CLEANUP}",
+    OptLevel.O1: f"simplifycfg,mem2reg,sccp,{CLEANUP}",
 
+    # -O2 runs the full scalar stack: SCCP prunes provably-untaken edges
+    # the constprop/simplifycfg pair cannot reach, load elimination feeds
+    # stored flags back into branch conditions, and the algebraic pass
+    # canonicalizes/shrinks the compare chains so that even the modest
+    # CPU-budget if-conversion (clang/gcc form selects for cheap diamonds
+    # at -O2 too) can flatten the short-circuit residue left by inlining.
     OptLevel.O2: (
         f"{_SCALARIZE},"
         "inline<threshold=40>,"
         f"{_POST_INLINE},"
-        "gvn,jump-threading,licm,"
+        "sccp,gvn,load-elim,jump-threading,licm,"
         f"{CLEANUP},"
-        "globaldce"
+        "algebraic-simplify,"
+        "ifconvert<spec=4>,"
+        f"{CLEANUP},"
+        "gvn,dce,globaldce"
     ),
 
-    # A CPU-oriented build limits the code growth of unswitching and
-    # speculates almost nothing (branches are cheap on a CPU).
+    # A CPU-oriented build limits the code growth of unswitching and keeps
+    # the same modest speculation budget as -O2 (branches are cheap on a
+    # CPU; what -O3 adds is loop restructuring, not speculation).
     OptLevel.O3: (
         f"{_SCALARIZE},"
         "inline<threshold=45,loops>,"
         f"{_POST_INLINE},"
-        "gvn,jump-threading,licm,"
+        "sccp,gvn,load-elim,jump-threading,licm,"
         "loop-unswitch<size=40>,"
         f"{CLEANUP},"
         "loop-unroll<trips=4,size=128>,"
         f"{CLEANUP},"
-        "ifconvert<spec=3>,"
+        "algebraic-simplify,"
+        "ifconvert<spec=4>,"
         f"{CLEANUP},"
         "gvn,dce,globaldce"
     ),
@@ -118,7 +129,8 @@ LEVEL_PIPELINES: Dict[OptLevel, str] = {
         f"{_SCALARIZE},"
         "inline<threshold=5000,loops,const-bonus=100>,"
         f"{_POST_INLINE},"
-        "gvn,jump-threading,licm,"
+        "sccp,gvn,load-elim,jump-threading,licm,"
+        "algebraic-simplify,"
         "ifconvert<spec=64>,"
         f"{CLEANUP},"
         "gvn,"
