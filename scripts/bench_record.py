@@ -104,6 +104,98 @@ def _pass_path_deltas(o2_paths: int) -> dict:
     return deltas
 
 
+def _warm_store_trajectory() -> dict:
+    """The knowledge-store amortization benchmark: the wc 4-byte sweep
+    cold, warm (solver caches primed from a store the cold sweep
+    produced), and memoized (the store-backed backend answering from the
+    verification memo).  The warm timing covers the sweep itself; the
+    one-time load+prime cost — which the service pays once at startup,
+    not per job — is reported separately as ``prime_seconds``.  Best of
+    three rounds each; outcomes are identical by construction (the
+    warm-vs-cold differential in ``tests/test_service_store.py`` holds
+    that), so the wall-clock numbers are the whole story."""
+    import tempfile
+
+    from repro.service.store import SolverKnowledgeStore
+    from repro.symex import SharedSolverCaches, Solver
+    from repro.verification import VerificationRequest, make_backend
+
+    modules = [compile_source(WC_PROGRAM, CompileOptions(level=level)).module
+               for level in WC_LEVELS]
+    limits = SymexLimits(timeout_seconds=TIMEOUT_SECONDS)
+    section: dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "knowledge.jsonl"
+
+        cold_times = []
+        for round_index in range(3):
+            per_round_caches = []
+            total = 0.0
+            for module in modules:
+                caches = SharedSolverCaches(num_stripes=1)
+                start = time.perf_counter()
+                explore(module, WC_INPUT_BYTES, limits=limits,
+                        solver=Solver(shared=caches))
+                total += time.perf_counter() - start
+                per_round_caches.append(caches)
+            cold_times.append(total)
+            if round_index == 0:
+                store = SolverKnowledgeStore(store_path)
+                for caches in per_round_caches:
+                    store.absorb(caches)
+                store.save()
+                section["store_records"] = len(store)
+
+        warm_times = []
+        prime_times = []
+        store_hits = 0
+        for _ in range(3):
+            total = 0.0
+            prime_total = 0.0
+            store_hits = 0
+            for module in modules:
+                prime_start = time.perf_counter()
+                store = SolverKnowledgeStore(store_path)
+                store.load()
+                caches = SharedSolverCaches(num_stripes=1)
+                store.prime(caches)
+                prime_total += time.perf_counter() - prime_start
+                start = time.perf_counter()
+                report = explore(module, WC_INPUT_BYTES, limits=limits,
+                                 solver=Solver(shared=caches))
+                total += time.perf_counter() - start
+                store_hits += report.solver_stats.store_hits
+            warm_times.append(total)
+            prime_times.append(prime_total)
+
+        request = VerificationRequest(symbolic_input_bytes=WC_INPUT_BYTES,
+                                      timeout_seconds=TIMEOUT_SECONDS)
+        for module in modules:  # populate the memos (untimed)
+            make_backend("symex", store=str(store_path)) \
+                .verify(module, request)
+        memo_times = []
+        for _ in range(3):
+            total = 0.0
+            for module in modules:
+                backend = make_backend("symex", store=str(store_path))
+                start = time.perf_counter()
+                outcome = backend.verify(module, request)
+                total += time.perf_counter() - start
+                assert outcome.provenance == "memo-hit"
+            memo_times.append(total)
+
+    section.update({
+        "cold_sweep_seconds": round(min(cold_times), 3),
+        "warm_sweep_seconds": round(min(warm_times), 3),
+        "prime_seconds": round(min(prime_times), 3),
+        "memo_sweep_seconds": round(min(memo_times), 3),
+        "warm_store_hits": store_hits,
+        "warm_speedup": round(min(cold_times) / max(min(warm_times), 1e-9),
+                              2),
+    })
+    return section
+
+
 def measure(label: str) -> dict:
     entry: dict = {"label": label,
                    "recorded_at": datetime.now(timezone.utc)
@@ -178,6 +270,10 @@ def measure(label: str) -> dict:
             timings.append(total)
         parallel[f"workers{workers}_sweep_seconds"] = round(min(timings), 3)
     entry["parallel_wc_sweep"] = parallel
+
+    # The cross-run amortization trajectory: cold vs store-warmed vs
+    # memoized wc sweeps (see docs/service.md).
+    entry["warm_store"] = _warm_store_trajectory()
     return entry
 
 

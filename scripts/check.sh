@@ -102,6 +102,40 @@ SOLVER_DIFFERENTIAL_WIDE_QUERIES=60 \
     python -m pytest tests/test_solver_differential.py -q
 
 echo
+echo "== verification service smoke: serve, two identical jobs, memo hit =="
+python - <<'PY'
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.service import ServiceClient, VerificationServer
+
+with tempfile.TemporaryDirectory() as tmp:
+    socket_path = Path(tmp) / "verify.sock"
+    store_path = Path(tmp) / "knowledge.jsonl"
+    server = VerificationServer(socket_path, store_path=store_path,
+                                pool_size=2)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    client = ServiceClient(socket_path, timeout=120.0)
+    client.wait_until_ready()
+    first = client.verify(workload="wc", level="-OVERIFY", job_id="smoke-1")
+    second = client.verify(workload="wc", level="-OVERIFY", job_id="smoke-2")
+    assert first["ok"] and first["provenance"] == "cold", first
+    assert second["ok"] and second["provenance"] == "memo-hit", second
+    assert second["paths"] == first["paths"]
+    stats = client.stats()
+    assert stats["jobs_completed"] == 2 and stats["memo_hits"] == 1, stats
+    client.shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "server did not shut down cleanly"
+    assert store_path.exists(), "store was not persisted"
+    print(f"service: cold -> memo-hit on identical resubmission, "
+          f"{stats['store_records']} store records persisted, "
+          f"clean shutdown")
+PY
+
+echo
 echo "== benchmark smoke (compile pipeline + session sweep + solver hot path, no timing rounds) =="
 # Timing assertions are skipped under --benchmark-disable, but the wc
 # sweep's exact per-level path counts (WC_SWEEP_PATHS) are always asserted.

@@ -9,7 +9,13 @@ verification backend and/or run it concretely:
     python -m repro wc --level O3 --run
     python -m repro wc --passes "simplifycfg,mem2reg,inline<threshold=5000,loops>,gvn"
     python -m repro grep --verify --backend "symex<searcher=bfs>"
+    python -m repro wc --verify --store /tmp/knowledge.jsonl
     python -m repro --list-passes
+
+The ``serve`` subcommand runs the verification service front door
+(see ``docs/service.md``):
+
+    python -m repro serve /tmp/verify.sock --store /tmp/knowledge.jsonl
 """
 
 from __future__ import annotations
@@ -69,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default="symex",
                         help="verification backend spec (default 'symex'; "
                              "e.g. 'symex<searcher=bfs>')")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="solver-knowledge store file for --verify: "
+                             "primes the solver from past runs and "
+                             "memoizes the verification (see "
+                             "docs/service.md)")
     parser.add_argument("--input-bytes", type=int, default=None,
                         help="symbolic input size for --verify (default: "
                              "the workload's suggested size)")
@@ -145,7 +156,48 @@ def _explain_paths(source: str, name: str, options: CompileOptions,
     return 0
 
 
+def _serve_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the verification service: an async front door "
+                    "accepting compile-and-verify jobs over a local "
+                    "socket, backed by a persistent solver-knowledge "
+                    "store (see docs/service.md).")
+    parser.add_argument("socket", help="unix-domain socket path to serve on")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="solver-knowledge store file (default: "
+                             "memory-only, nothing persists)")
+    parser.add_argument("--backend", default="symex",
+                        help="verification backend spec for every job "
+                             "(default 'symex')")
+    parser.add_argument("--pool", type=int, default=2,
+                        help="worker threads verifying concurrently "
+                             "(default 2)")
+    args = parser.parse_args(argv)
+    from .service import VerificationServer
+
+    server = VerificationServer(args.socket, store_path=args.store,
+                                backend=args.backend, pool_size=args.pool)
+    print(f"serving  : {args.socket}")
+    print(f"store    : {args.store or '(memory-only)'}")
+    print(f"backend  : {server.backend.describe()}  pool={args.pool}")
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    stats = server.stats
+    print(f"done     : {stats['jobs_completed']} jobs "
+          f"({stats['memo_hits']} memo hits, "
+          f"{stats['jobs_deduped']} deduped, "
+          f"{stats['jobs_failed']} failed)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -250,7 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.verify:
         try:
-            backend = make_backend(args.backend)
+            backend = make_backend(args.backend, store=args.store or "")
         except BackendSpecError as exc:
             print(f"error: {exc}", file=sys.stderr)
             print(f"known backends: {', '.join(backend_names())}",
@@ -261,7 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{outcome.errors} errors, "
               f"{outcome.instructions} instructions "
               f"in {outcome.seconds:.3f}s"
-              f"{' (timed out)' if outcome.timed_out else ''}")
+              f"{' (timed out)' if outcome.timed_out else ''}"
+              f"{f' [{outcome.provenance}]' if args.store else ''}")
         for signature in sorted(outcome.bug_signatures):
             print(f"  bug    : {', '.join(signature)}")
 

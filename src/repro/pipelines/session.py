@@ -301,6 +301,35 @@ class CompilerSession:
                            if pipeline.spec is not None else ""),
         )
 
+    def compile_and_verify(self, program_source: str,
+                           options: Optional[CompileOptions] = None,
+                           level: Optional[OptLevel] = None,
+                           backend: object = "symex",
+                           request: Optional[object] = None) -> Tuple[
+                               CompilationResult, object]:
+        """Compile ``program_source`` and hand the result to a verification
+        backend — the one compile-then-verify plumbing path the CLI, the
+        verification service, and tests share.
+
+        ``backend`` is a spec string resolved through
+        :func:`repro.verification.make_backend` (so ``"symex<store=...>"``
+        reaches the persistent knowledge store) or a prebuilt
+        :class:`~repro.verification.VerificationBackend` — the service
+        passes one with injected shared solver caches.  Returns
+        ``(compilation_result, verification_outcome)``.
+        """
+        # Imported here so the session stays usable without pulling the
+        # execution engines in (backends register themselves on import).
+        from ..verification import VerificationRequest, make_backend
+
+        result = self.compile(program_source, options=options, level=level)
+        if isinstance(backend, str):
+            backend = make_backend(backend)
+        if request is None:
+            request = VerificationRequest()
+        outcome = backend.verify(result.module, request)
+        return result, outcome
+
     def compile_at_levels(self, program_source: str,
                           levels: Optional[List[OptLevel]] = None,
                           options: Optional[CompileOptions] = None

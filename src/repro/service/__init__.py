@@ -1,0 +1,31 @@
+"""The verification service: a persistent solver-knowledge store and an
+asyncio front door over a local socket.
+
+* :mod:`repro.service.store` — :class:`SolverKnowledgeStore`: solver
+  results, UBTree SAT/UNSAT indices, canonical models and per-function
+  verification memos, serialized to a versioned, checksummed,
+  atomically-replaced file keyed by canonical constraint-group
+  fingerprints.
+* :mod:`repro.service.server` — :class:`VerificationServer`: the
+  JSON-line front door that compiles, dedupes, memoizes and verifies
+  jobs against store-primed shared solver caches.
+* :mod:`repro.service.client` — :class:`ServiceClient`: the blocking
+  client.
+
+See ``docs/service.md``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .server import VerificationServer, serve
+from .store import (
+    SolverKnowledgeStore, StoreFormatError, WireError, expr_from_wire,
+    expr_to_wire, group_fingerprint, verification_fingerprint,
+)
+
+__all__ = [
+    "ServiceClient", "ServiceError",
+    "VerificationServer", "serve",
+    "SolverKnowledgeStore", "StoreFormatError", "WireError",
+    "expr_from_wire", "expr_to_wire", "group_fingerprint",
+    "verification_fingerprint",
+]

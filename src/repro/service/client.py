@@ -1,0 +1,133 @@
+"""Blocking client for the verification service.
+
+One :class:`ServiceClient` talks JSON-lines to a
+:class:`~repro.service.server.VerificationServer` over its unix-domain
+socket.  Each request opens a fresh connection — the protocol is
+one-line-in / one-line-out, and a connection per request keeps the
+client trivially usable from multiple threads (the scripted smoke test
+and the test suite both do).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """The service could not be reached or reported a failure."""
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.VerificationServer`.
+
+    Parameters
+    ----------
+    socket_path:
+        The server's unix-domain socket.
+    timeout:
+        Per-request socket timeout in seconds.  Verifications can be
+        slow; size this for the workloads being submitted.
+    """
+
+    def __init__(self, socket_path: object, timeout: float = 60.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # --------------------------------------------------------------- wire
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request object, return the response object.
+
+        Raises :class:`ServiceError` on connection failure, malformed
+        responses, or an ``{"ok": false}`` reply.
+        """
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+                sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+                chunks = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    if chunk.endswith(b"\n"):
+                        break
+        except OSError as exc:
+            raise ServiceError(
+                f"verification service at {self.socket_path}: {exc}"
+            ) from exc
+        raw = b"".join(chunks)
+        if not raw:
+            raise ServiceError(
+                f"verification service at {self.socket_path}: empty reply")
+        try:
+            response = json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(
+                f"verification service: malformed reply {raw!r}") from exc
+        if not isinstance(response, dict):
+            raise ServiceError(
+                f"verification service: non-object reply {response!r}")
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "verification service failure"))
+        return response
+
+    # ---------------------------------------------------------------- ops
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def verify(self, *, workload: Optional[str] = None,
+               source: Optional[str] = None, level: str = "-OVERIFY",
+               input_bytes: Optional[int] = None,
+               timeout: Optional[float] = None,
+               max_instructions: Optional[int] = None,
+               entry: Optional[str] = None,
+               job_id: Optional[str] = None) -> Dict[str, object]:
+        """Submit one compile-and-verify job and wait for its result."""
+        payload: Dict[str, object] = {"op": "verify", "level": level}
+        if workload is not None:
+            payload["workload"] = workload
+        if source is not None:
+            payload["source"] = source
+        if input_bytes is not None:
+            payload["input_bytes"] = input_bytes
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if max_instructions is not None:
+            payload["max_instructions"] = max_instructions
+        if entry is not None:
+            payload["entry"] = entry
+        if job_id is not None:
+            payload["id"] = job_id
+        return self.request(payload)
+
+    def wait_until_ready(self, deadline: float = 10.0) -> None:
+        """Poll ``ping`` until the server answers (it may still be
+        binding its socket); raise :class:`ServiceError` after
+        ``deadline`` seconds."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                if self.ping():
+                    return
+            except ServiceError:
+                pass
+            if time.monotonic() >= end:
+                raise ServiceError(
+                    f"verification service at {self.socket_path} did not "
+                    f"come up within {deadline:.1f}s")
+            time.sleep(0.05)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,348 @@
+"""The verification service's asyncio front door.
+
+One :class:`VerificationServer` listens on a local unix-domain socket and
+speaks a JSON-line protocol (one request object per line, one response
+object per line — see ``docs/service.md``).  Verification jobs flow
+through the same plumbing every other driver uses —
+:class:`~repro.pipelines.session.CompilerSession` for compilation,
+:func:`~repro.verification.make_backend` for the engine — with three
+service-level layers on top:
+
+* **In-flight dedupe.**  Jobs are keyed by a content hash of their
+  resolved source + request + backend configuration.  A job submitted
+  while an identical one is running does not start a second verification;
+  it awaits the running one's result (and is marked ``"deduped": true``).
+* **Verification memo.**  Completed jobs are recorded in the
+  service's :class:`~repro.service.store.SolverKnowledgeStore` keyed by
+  post-pipeline IR fingerprint; resubmitting an unchanged function is
+  answered from the memo without running symex
+  (``"provenance": "memo-hit"``).
+* **Shared, store-primed solver caches.**  All jobs solve into one
+  lock-striped :class:`~repro.symex.solver.SharedSolverCaches`, primed
+  from the store at startup; a job whose constraint groups are answered
+  by primed entries reports ``"provenance": "warm-store"``.  Everything
+  learned is absorbed back into the store and saved atomically.
+
+Concurrency model: the asyncio loop only parses requests and awaits; the
+blocking work (compile + verify) runs on a thread pool.  Compiles are
+serialized behind one lock (the session's front-end cache is not
+thread-safe; compiles are the cheap part), verifications run in parallel
+across the pool — the solver caches are built for exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from ..pipelines import CompileOptions, CompilerSession, parse_opt_level
+from ..symex.solver import SharedSolverCaches
+from ..verification import VerificationRequest, make_backend
+from ..workloads import get_workload
+from .store import (
+    SolverKnowledgeStore, WireError, memo_to_outcome, outcome_to_memo,
+    verification_fingerprint,
+)
+
+#: Stripes of the service's shared solver caches: enough that a handful of
+#: concurrent verifications rarely collide on a stripe lock.
+CACHE_STRIPES = 8
+
+
+class VerificationServer:
+    """The async front door (see module docstring).
+
+    Parameters
+    ----------
+    socket_path:
+        Unix-domain socket to listen on (created; a stale file is
+        replaced).
+    store_path:
+        Knowledge-store file.  ``None`` runs memory-only: memoization and
+        cache sharing still work within the server's lifetime, nothing
+        persists.
+    backend:
+        Backend spec for every job (default ``"symex"``).  The server
+        injects its shared caches into backends that accept them.
+    pool_size:
+        Worker threads verifying concurrently.
+    save_every:
+        Persist the store after every N completed (non-memoized) jobs;
+        the store is always saved on shutdown.  0 = only at shutdown.
+    """
+
+    def __init__(self, socket_path: object, store_path: object = None,
+                 backend: str = "symex", pool_size: int = 2,
+                 save_every: int = 1) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.socket_path = str(socket_path)
+        self.backend_spec = backend
+        self.pool_size = pool_size
+        self.save_every = save_every
+        self.store = SolverKnowledgeStore(store_path)
+        self.caches = SharedSolverCaches(num_stripes=CACHE_STRIPES,
+                                         locked=True)
+        #: One backend instance serves every job (verify() is stateless);
+        #: backends that take injected caches get the shared set.
+        self.backend = make_backend(backend, caches=self.caches)
+        self.session = CompilerSession()
+        self.primed_entries = 0
+        self.stats: Dict[str, int] = {
+            "jobs_completed": 0, "jobs_failed": 0, "jobs_deduped": 0,
+            "memo_hits": 0, "warm_store": 0, "cold": 0, "saves": 0,
+        }
+        self._session_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._save_lock = threading.Lock()
+        self._jobs_since_save = 0
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Load + prime the store and start listening."""
+        self._shutdown = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.pool_size, thread_name_prefix="verify")
+        self.store.load()
+        self.primed_entries = self.store.prime(self.caches)
+        directory = os.path.dirname(self.socket_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path)
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request arrives, then clean up:
+        save the store, drain the pool, remove the socket."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self._pool.shutdown(wait=True)
+            self.store.save()
+            with self._stats_lock:
+                self.stats["saves"] += 1
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def run(self) -> None:
+        """Blocking entry point: serve until shutdown (the CLI's ``serve``
+        subcommand, and test servers on a background thread)."""
+        asyncio.run(self.serve_until_shutdown())
+
+    # ------------------------------------------------------------- protocol
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    response = {"ok": False, "error": str(exc)}
+                    with self._stats_lock:
+                        self.stats["jobs_failed"] += 1
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-read: just close the connection
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: object) -> Dict[str, object]:
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        op = request.get("op", "verify")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            with self._stats_lock:
+                snapshot = dict(self.stats)
+            snapshot.update(ok=True, op="stats",
+                            primed_entries=self.primed_entries,
+                            store_records=len(self.store),
+                            memo_count=self.store.memo_count,
+                            backend=self.backend.describe(),
+                            pool_size=self.pool_size)
+            return snapshot
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "op": "shutdown"}
+        if op == "verify":
+            return await self._submit(request)
+        raise ValueError(f"unknown op {op!r}")
+
+    # ----------------------------------------------------------- job intake
+    def _resolve_job(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Normalize a verify request: resolve the workload to source text
+        and fill every default, so the dedupe key hashes semantics, not
+        spelling."""
+        source = request.get("source")
+        label = request.get("workload")
+        default_bytes = 4
+        if label is not None:
+            if source is not None:
+                raise ValueError("give 'workload' or 'source', not both")
+            workload = get_workload(str(label))
+            source = workload.source
+            default_bytes = workload.default_input_bytes
+        elif source is None:
+            raise ValueError("a verify job needs 'workload' or 'source'")
+        elif not isinstance(source, str):
+            raise ValueError("'source' must be MiniC program text")
+        level = parse_opt_level(str(request.get("level", "-OVERIFY")))
+        verification = VerificationRequest(
+            symbolic_input_bytes=int(request.get("input_bytes",
+                                                 default_bytes)),
+            timeout_seconds=float(request.get("timeout", 60.0)),
+            max_instructions=int(request.get("max_instructions", 5_000_000)),
+            entry=str(request.get("entry", "main")),
+        )
+        return {"source": source, "label": label or "(inline source)",
+                "level": level, "request": verification}
+
+    def _job_key(self, job: Dict[str, object]) -> str:
+        request = job["request"]
+        identity = json.dumps({
+            "source": job["source"],
+            "level": str(job["level"]),
+            "input_bytes": request.symbolic_input_bytes,
+            "timeout": request.timeout_seconds,
+            "max_instructions": request.max_instructions,
+            "entry": request.entry,
+            "backend": self.backend.describe(),
+        }, sort_keys=True)
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    async def _submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        job = self._resolve_job(request)
+        key = self._job_key(job)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            with self._stats_lock:
+                self.stats["jobs_deduped"] += 1
+            response = dict(await asyncio.shield(existing))
+            response["deduped"] = True
+            response["id"] = request.get("id")
+            return response
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            try:
+                response = await loop.run_in_executor(
+                    self._pool, self._run_job, job)
+            except Exception as exc:
+                response = {"ok": False, "op": "verify", "error": str(exc)}
+                with self._stats_lock:
+                    self.stats["jobs_failed"] += 1
+            if not future.done():
+                future.set_result(response)
+        finally:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.cancel()
+        response = dict(response)
+        response["id"] = request.get("id")
+        return response
+
+    # ------------------------------------------------------------ job body
+    def _run_job(self, job: Dict[str, object]) -> Dict[str, object]:
+        started = time.perf_counter()
+        with self._session_lock:
+            result = self.session.compile(
+                job["source"], options=CompileOptions(level=job["level"]))
+        memo_key = verification_fingerprint(
+            result.module, job["request"], self.backend.describe())
+        outcome = None
+        payload = self.store.memo_lookup(memo_key)
+        if payload is not None:
+            try:
+                outcome = memo_to_outcome(payload,
+                                          backend=self.backend.describe())
+            except WireError:
+                outcome = None  # damaged memo: re-verify
+        if outcome is None:
+            outcome = self.backend.verify(result.module, job["request"])
+            self.store.memo_record(memo_key, outcome_to_memo(outcome))
+            self.store.absorb(self.caches)
+            self._maybe_save()
+        with self._stats_lock:
+            self.stats["jobs_completed"] += 1
+            provenance_key = outcome.provenance.replace("-", "_") \
+                .replace("memo_hit", "memo_hits")
+            if provenance_key in self.stats:
+                self.stats[provenance_key] += 1
+        return {
+            "ok": True,
+            "op": "verify",
+            "label": job["label"],
+            "level": str(job["level"]),
+            "backend": outcome.backend,
+            "provenance": outcome.provenance,
+            "deduped": False,
+            "paths": outcome.paths,
+            "errors": outcome.errors,
+            "instructions": outcome.instructions,
+            "timed_out": outcome.timed_out,
+            "bug_signatures": sorted(list(signature) for signature
+                                     in outcome.bug_signatures),
+            "verify_seconds": outcome.seconds,
+            "compile_seconds": result.compile_seconds,
+            "wall_seconds": time.perf_counter() - started,
+            "solver": dict(outcome.solver_stats),
+        }
+
+    def _maybe_save(self) -> None:
+        if not self.save_every or self.store.path is None:
+            return
+        with self._save_lock:
+            self._jobs_since_save += 1
+            if self._jobs_since_save < self.save_every:
+                return
+            self._jobs_since_save = 0
+        self.store.save()
+        with self._stats_lock:
+            self.stats["saves"] += 1
+
+
+def serve(socket_path: object, store_path: object = None,
+          backend: str = "symex", pool_size: int = 2,
+          save_every: int = 1) -> None:
+    """Convenience blocking runner (``python -m repro serve``)."""
+    VerificationServer(socket_path, store_path=store_path, backend=backend,
+                       pool_size=pool_size, save_every=save_every).run()
+
+
+__all__ = ["CACHE_STRIPES", "VerificationServer", "serve"]

@@ -1,0 +1,557 @@
+"""A persistent, cross-run solver-knowledge store.
+
+-OVERIFY treats verification cost as a budget to engineer; the biggest
+lever left after intra-run caching is **amortization across runs**: user
+M+1 should never re-pay for anything user M already proved.  This module
+persists the solver's learned knowledge — exact group results, UBTree
+SAT/UNSAT counterexample sets (minimized UNSAT cores included), and
+canonical concretization models — plus whole-run **verification memos**
+keyed by post-pipeline IR fingerprints, so a resubmitted unchanged
+function skips symbolic execution entirely.
+
+Design points (see ``docs/service.md`` for the file format):
+
+* **Canonical fingerprints.**  Expressions serialize as their
+  deterministic DAG schedule (children before parents, shared nodes
+  once), so the wire form is a canonical function of the expression; a
+  constraint group's fingerprint is the SHA-256 over its sorted
+  constraint wire forms and is therefore independent of process, hash
+  seed, and constraint order.
+* **Versioned, checksummed JSON-lines format with atomic writes.**  A
+  header pins format name + version, every record carries a checksum of
+  its own body, and a footer records the expected record count (a
+  truncated tail is detected even when it ends on a line boundary).
+  Saves go through a temp file + ``os.replace`` in the same directory,
+  and re-read the current file first (read-merge-replace), so concurrent
+  writers never corrupt the store and never read a half-written one.
+* **Corruption degrades to cold, never to wrong.**  Any load problem —
+  missing file, version mismatch, truncation, checksum mismatch,
+  malformed JSON or wire form — empties the store and records the reason
+  in :attr:`SolverKnowledgeStore.load_error`.  A store entry is only ever
+  *added* to the solver caches through
+  :meth:`~repro.symex.solver.SharedSolverCaches.absorb_state`, which the
+  solver treats exactly like knowledge it solved itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..ir import Module
+from ..ir.printer import print_module
+from ..symex.executor import (
+    BugReport, PathRecord, SymexReport, SymexStats,
+)
+from ..symex.expr import Expr, ExprOp
+from ..symex.solver import SharedSolverCaches, SolverResult, SolverStats
+from ..symex.state import StateStatus
+from ..interp.errors import ErrorKind
+from ..verification import VerificationOutcome, VerificationRequest
+
+FORMAT_NAME = "repro-solver-store"
+FORMAT_VERSION = 1
+
+
+class WireError(ValueError):
+    """A serialized expression or record failed validation."""
+
+
+class StoreFormatError(ValueError):
+    """The store file is unreadable as a whole (version, truncation,
+    checksum); the loader turns this into a cold start."""
+
+
+# --------------------------------------------------------------- wire codec
+# An expression's wire form is its evaluation schedule: a list of nodes in
+# deterministic topological order (children before parents, shared
+# subexpressions once, root last).  Constants are ["c", width, value],
+# variables ["v", width, name], everything else [op, width, [child
+# indices]].  Decoding rebuilds bottom-up through the raw Expr constructor,
+# which re-interns each node — a decoded expression *is* (identity) the
+# original within one process.  Raw construction bypasses the simplifying
+# smart constructors, which is sound here: stored expressions are already
+# in post-simplification form.
+
+def expr_to_wire(expr: Expr) -> list:
+    """The canonical JSON-ready form of ``expr``."""
+    nodes: list = []
+    for op, width, _operand_width, operand_indices, value, name in \
+            expr._evaluation_schedule():
+        if op is ExprOp.CONST:
+            nodes.append(["c", width, value])
+        elif op is ExprOp.VAR:
+            nodes.append(["v", width, name])
+        else:
+            nodes.append([op.value, width, list(operand_indices)])
+    return nodes
+
+
+def expr_from_wire(nodes: object) -> Expr:
+    """Rebuild (and re-intern) an expression from its wire form.
+
+    Raises :class:`WireError` on any structural problem — unknown tags,
+    out-of-range widths, forward references — so a damaged record can
+    never materialize as a malformed expression."""
+    if not isinstance(nodes, list) or not nodes:
+        raise WireError("expression wire form must be a non-empty list")
+    built: List[Expr] = []
+    for node in nodes:
+        if not isinstance(node, list) or len(node) != 3:
+            raise WireError(f"malformed wire node {node!r}")
+        tag, width, payload = node
+        if isinstance(width, bool) or not isinstance(width, int) or \
+                not 1 <= width <= 64:
+            raise WireError(f"bad width in wire node {node!r}")
+        if tag == "c":
+            if isinstance(payload, bool) or not isinstance(payload, int):
+                raise WireError(f"bad constant value in {node!r}")
+            built.append(Expr(ExprOp.CONST, width, value=payload))
+            continue
+        if tag == "v":
+            if not isinstance(payload, str) or not payload:
+                raise WireError(f"bad variable name in {node!r}")
+            built.append(Expr(ExprOp.VAR, width, name=payload))
+            continue
+        try:
+            op = ExprOp(tag)
+        except ValueError as exc:
+            raise WireError(f"unknown operator {tag!r}") from exc
+        if op is ExprOp.CONST or op is ExprOp.VAR or \
+                not isinstance(payload, list) or not payload:
+            raise WireError(f"malformed wire node {node!r}")
+        operands = []
+        for index in payload:
+            if isinstance(index, bool) or not isinstance(index, int) or \
+                    not 0 <= index < len(built):
+                raise WireError(f"bad operand index in {node!r}")
+            operands.append(built[index])
+        built.append(Expr(op, width, tuple(operands)))
+    return built[-1]
+
+
+def _canonical_json(value: object) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _sorted_wires(constraints: Iterable[Expr]) -> List[list]:
+    """Constraint wire forms in a canonical (serialization-independent)
+    order: sorted by their canonical JSON text."""
+    return sorted((expr_to_wire(c) for c in constraints),
+                  key=_canonical_json)
+
+
+def group_fingerprint(constraints: Iterable[Expr]) -> str:
+    """SHA-256 fingerprint of a constraint group, independent of
+    constraint order, interning history, and process hash seed."""
+    text = "\n".join(_canonical_json(wire)
+                     for wire in _sorted_wires(constraints))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _model_from_wire(payload: object) -> Dict[str, int]:
+    if not isinstance(payload, dict):
+        raise WireError(f"model must be an object, got {payload!r}")
+    model: Dict[str, int] = {}
+    for name, value in payload.items():
+        if not isinstance(name, str) or isinstance(value, bool) or \
+                not isinstance(value, int):
+            raise WireError(f"bad model binding {name!r}: {value!r}")
+        model[name] = value
+    return model
+
+
+def _record_checksum(record: Dict[str, object]) -> str:
+    """Integrity checksum of a record body (everything but ``sum``)."""
+    body = {key: value for key, value in record.items() if key != "sum"}
+    return hashlib.sha256(
+        _canonical_json(body).encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------- verification memos
+
+def verification_fingerprint(module: Module, request: VerificationRequest,
+                             backend_spec: str) -> str:
+    """The memo key of one verification run: the post-pipeline IR's
+    printed form plus every request/backend knob that can change the
+    outcome.  Two submissions with identical optimized IR, request, and
+    backend configuration are the same verification."""
+    parts = [
+        backend_spec,
+        request.entry,
+        str(request.symbolic_input_bytes),
+        repr(request.timeout_seconds),
+        str(request.max_instructions),
+        print_module(module),
+    ]
+    return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()
+
+
+def outcome_to_memo(outcome: VerificationOutcome) -> Dict[str, object]:
+    """The JSON-ready memo payload of a completed verification."""
+    payload: Dict[str, object] = {
+        "backend": outcome.backend,
+        "seconds": outcome.seconds,
+        "instructions": outcome.instructions,
+        "paths": outcome.paths,
+        "errors": outcome.errors,
+        "timed_out": outcome.timed_out,
+        "return_value": outcome.return_value,
+        "bug_signatures": sorted(list(signature)
+                                 for signature in outcome.bug_signatures),
+        "solver_stats": dict(outcome.solver_stats),
+    }
+    detail = outcome.detail
+    if isinstance(detail, SymexReport):
+        payload["report"] = {
+            "stats": {field.name: getattr(detail.stats, field.name)
+                      for field in fields(detail.stats)},
+            "paths": [[record.status.value,
+                       record.constraint_count,
+                       record.instructions,
+                       None if record.test_input is None
+                       else record.test_input.hex(),
+                       record.return_value]
+                      for record in detail.paths],
+            "bugs": [[bug.kind.value, bug.message, bug.function, bug.block,
+                      None if bug.test_input is None
+                      else bug.test_input.hex()]
+                     for bug in detail.bugs],
+        }
+    return payload
+
+
+def memo_to_outcome(payload: Dict[str, object],
+                    backend: str) -> VerificationOutcome:
+    """Rebuild a full :class:`VerificationOutcome` (including a genuine
+    :class:`SymexReport` detail when one was memoized) from a memo
+    payload, with ``provenance="memo-hit"`` and ``seconds=0.0`` — the memo
+    hit itself costs no verification time.  Raises :class:`WireError` if
+    the payload does not reconstruct; callers treat that as a miss."""
+    try:
+        detail = None
+        report = payload.get("report")
+        if isinstance(report, dict):
+            stat_names = {field.name for field in fields(SymexStats)}
+            stats = SymexStats(**{key: value
+                                  for key, value in report["stats"].items()
+                                  if key in stat_names})
+            solver_names = {field.name for field in fields(SolverStats)}
+            solver_stats = SolverStats(
+                **{key: value
+                   for key, value in payload["solver_stats"].items()
+                   if key in solver_names})
+            paths = [PathRecord(
+                state_id=index,
+                status=StateStatus(status),
+                constraint_count=constraint_count,
+                instructions=instructions,
+                test_input=None if test_input is None
+                else bytes.fromhex(test_input),
+                return_value=return_value)
+                for index, (status, constraint_count, instructions,
+                            test_input, return_value)
+                in enumerate(report["paths"])]
+            bugs = [BugReport(
+                kind=ErrorKind(kind),
+                message=message,
+                function=function,
+                block=block,
+                test_input=None if test_input is None
+                else bytes.fromhex(test_input))
+                for kind, message, function, block, test_input
+                in report["bugs"]]
+            detail = SymexReport(stats=stats, solver_stats=solver_stats,
+                                 paths=paths, bugs=bugs)
+        return VerificationOutcome(
+            backend=backend,
+            seconds=0.0,
+            instructions=int(payload["instructions"]),
+            paths=int(payload["paths"]),
+            errors=int(payload["errors"]),
+            timed_out=bool(payload["timed_out"]),
+            bug_signatures=frozenset(
+                tuple(signature)
+                for signature in payload["bug_signatures"]),
+            return_value=payload.get("return_value"),
+            solver_stats=dict(payload["solver_stats"]),
+            detail=detail,
+            provenance="memo-hit",
+        )
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError(f"memo payload does not reconstruct: {exc}") from exc
+
+
+# ------------------------------------------------------------------- store
+
+class SolverKnowledgeStore:
+    """The persistent knowledge store: solver cache snapshots plus
+    verification memos, living in one JSON-lines file.
+
+    ``path=None`` makes a memory-only store (the service without
+    ``--store``): the same API, with :meth:`load`/:meth:`save` as no-ops.
+    All mutating methods are thread-safe — the service calls them from
+    worker-pool threads."""
+
+    def __init__(self, path: Optional[object] = None) -> None:
+        self.path = None if path is None else Path(path)
+        self._lock = threading.Lock()
+        #: Why the last load came up cold ("" = it didn't).
+        self.load_error = ""
+        self._reset()
+
+    def _reset(self) -> None:
+        self._groups: Dict[str, dict] = {}
+        self._sat_sets: Dict[str, dict] = {}
+        self._unsat_sets: Dict[str, dict] = {}
+        self._canonical_models: Dict[str, dict] = {}
+        self._memos: Dict[str, dict] = {}
+
+    def __len__(self) -> int:
+        return (len(self._groups) + len(self._sat_sets)
+                + len(self._unsat_sets) + len(self._canonical_models)
+                + len(self._memos))
+
+    @property
+    def memo_count(self) -> int:
+        return len(self._memos)
+
+    # ------------------------------------------------------------- loading
+    def load(self) -> bool:
+        """Read the store file.  Returns True when warm knowledge was
+        loaded; every failure mode (missing file, bad version, truncation,
+        checksum mismatch, malformed content) leaves the store empty and
+        the reason in :attr:`load_error` — never an exception."""
+        with self._lock:
+            self._reset()
+            self.load_error = ""
+            if self.path is None:
+                return False
+            try:
+                text = self.path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                self.load_error = "missing"
+                return False
+            except (OSError, UnicodeDecodeError) as exc:
+                self.load_error = f"unreadable: {exc}"
+                return False
+            try:
+                self._parse(text)
+            except Exception as exc:
+                self._reset()
+                self.load_error = f"corrupt: {exc}"
+                return False
+            return len(self) > 0
+
+    def _parse(self, text: str) -> None:
+        lines = text.splitlines()
+        if not lines:
+            raise StoreFormatError("empty file")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) or \
+                header.get("format") != FORMAT_NAME:
+            raise StoreFormatError("not a solver store")
+        if header.get("version") != FORMAT_VERSION:
+            raise StoreFormatError(
+                f"version {header.get('version')!r} "
+                f"(this build reads {FORMAT_VERSION})")
+        if len(lines) < 2:
+            raise StoreFormatError("truncated: missing footer")
+        footer = json.loads(lines[-1])
+        if not isinstance(footer, dict) or footer.get("kind") != "end":
+            raise StoreFormatError("truncated: no end marker")
+        records = lines[1:-1]
+        if footer.get("records") != len(records):
+            raise StoreFormatError(
+                f"truncated: footer expects {footer.get('records')} "
+                f"records, found {len(records)}")
+        tables = {"group": self._groups, "sat_set": self._sat_sets,
+                  "unsat_core": self._unsat_sets,
+                  "canonical_model": self._canonical_models,
+                  "memo": self._memos}
+        for line in records:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise StoreFormatError(f"record is not an object: {line!r}")
+            if record.get("sum") != _record_checksum(record):
+                raise StoreFormatError("record checksum mismatch")
+            kind = record.pop("kind", None)
+            record.pop("sum", None)
+            key = record.pop("key", None)
+            table = tables.get(kind)
+            if table is None or not isinstance(key, str):
+                raise StoreFormatError(f"malformed record kind={kind!r}")
+            table[key] = record
+
+    # -------------------------------------------------------------- saving
+    def save(self) -> None:
+        """Atomically persist the store (read-merge-replace).
+
+        The current file is re-read first and any records it has that this
+        store lacks are merged in (this store's entries win on key
+        collisions), so two concurrent writers union their knowledge
+        instead of the last one clobbering the first.  The write itself
+        goes through a same-directory temp file and ``os.replace``:
+        readers only ever see a complete old or complete new file."""
+        if self.path is None:
+            return
+        with self._lock:
+            current = SolverKnowledgeStore(self.path)
+            current.load()
+            for ours, theirs in (
+                    (self._groups, current._groups),
+                    (self._sat_sets, current._sat_sets),
+                    (self._unsat_sets, current._unsat_sets),
+                    (self._canonical_models, current._canonical_models),
+                    (self._memos, current._memos)):
+                for key, record in theirs.items():
+                    ours.setdefault(key, record)
+            lines = [_canonical_json({"format": FORMAT_NAME,
+                                      "version": FORMAT_VERSION})]
+            count = 0
+            for kind, table in (("group", self._groups),
+                                ("sat_set", self._sat_sets),
+                                ("unsat_core", self._unsat_sets),
+                                ("canonical_model", self._canonical_models),
+                                ("memo", self._memos)):
+                for key in sorted(table):
+                    record = dict(table[key])
+                    record["kind"] = kind
+                    record["key"] = key
+                    record["sum"] = _record_checksum(record)
+                    lines.append(_canonical_json(record))
+                    count += 1
+            lines.append(_canonical_json({"kind": "end", "records": count}))
+            payload = "\n".join(lines) + "\n"
+            directory = self.path.parent
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(directory), prefix=self.path.name + ".", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    # ------------------------------------------------- cache <-> store
+    def prime(self, caches: SharedSolverCaches) -> int:
+        """Inject every stored solver fact into ``caches`` (tagged so hits
+        count as ``SolverStats.store_hits``).  Returns the number of
+        entries absorbed.  A record whose constraints no longer decode is
+        skipped, never fatal."""
+        state: Dict[str, list] = {"groups": [], "sat_sets": [],
+                                  "unsat_sets": [], "canonical_models": []}
+        with self._lock:
+            group_items = list(self._groups.items())
+            sat_items = list(self._sat_sets.items())
+            unsat_items = list(self._unsat_sets.items())
+            canonical_items = list(self._canonical_models.items())
+        for _key, record in group_items:
+            try:
+                constraints = frozenset(expr_from_wire(wire)
+                                        for wire in record["constraints"])
+                model = record["model"]
+                result = SolverResult(
+                    bool(record["satisfiable"]),
+                    None if model is None else _model_from_wire(model))
+            except (WireError, KeyError, TypeError, RecursionError):
+                continue
+            state["groups"].append((constraints, result))
+        for _key, record in sat_items:
+            try:
+                elements = tuple(expr_from_wire(wire)
+                                 for wire in record["constraints"])
+                model = _model_from_wire(record["model"])
+            except (WireError, KeyError, TypeError, RecursionError):
+                continue
+            state["sat_sets"].append((elements, model))
+        for _key, record in unsat_items:
+            try:
+                elements = tuple(expr_from_wire(wire)
+                                 for wire in record["constraints"])
+            except (WireError, KeyError, TypeError, RecursionError):
+                continue
+            state["unsat_sets"].append(elements)
+        for _key, record in canonical_items:
+            try:
+                constraints = frozenset(expr_from_wire(wire)
+                                        for wire in record["constraints"])
+                model = _model_from_wire(record["model"])
+            except (WireError, KeyError, TypeError, RecursionError):
+                continue
+            state["canonical_models"].append((constraints, model))
+        return caches.absorb_state(state, from_store=True)
+
+    def absorb(self, caches: SharedSolverCaches) -> int:
+        """Fold everything ``caches`` learned into the store (existing
+        entries win — knowledge, once recorded, is stable).  Returns the
+        number of new records."""
+        state = caches.export_state()
+        added = 0
+        with self._lock:
+            for key, result in state["groups"]:
+                fingerprint = group_fingerprint(key)
+                if fingerprint not in self._groups:
+                    self._groups[fingerprint] = {
+                        "constraints": _sorted_wires(key),
+                        "satisfiable": result.satisfiable,
+                        "model": None if result.model is None
+                        else dict(result.model),
+                    }
+                    added += 1
+            for elements, model in state["sat_sets"]:
+                fingerprint = group_fingerprint(elements)
+                if fingerprint not in self._sat_sets:
+                    self._sat_sets[fingerprint] = {
+                        "constraints": _sorted_wires(elements),
+                        "model": dict(model),
+                    }
+                    added += 1
+            for elements in state["unsat_sets"]:
+                fingerprint = group_fingerprint(elements)
+                if fingerprint not in self._unsat_sets:
+                    self._unsat_sets[fingerprint] = {
+                        "constraints": _sorted_wires(elements),
+                    }
+                    added += 1
+            for key, model in state["canonical_models"]:
+                fingerprint = group_fingerprint(key)
+                if fingerprint not in self._canonical_models:
+                    self._canonical_models[fingerprint] = {
+                        "constraints": _sorted_wires(key),
+                        "model": dict(model),
+                    }
+                    added += 1
+        return added
+
+    # ---------------------------------------------------------------- memos
+    def memo_lookup(self, key: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return self._memos.get(key)
+
+    def memo_record(self, key: str, payload: Dict[str, object]) -> None:
+        with self._lock:
+            self._memos[key] = payload
+
+
+__all__ = [
+    "FORMAT_NAME", "FORMAT_VERSION", "SolverKnowledgeStore",
+    "StoreFormatError", "WireError", "expr_from_wire", "expr_to_wire",
+    "group_fingerprint", "memo_to_outcome", "outcome_to_memo",
+    "verification_fingerprint",
+]

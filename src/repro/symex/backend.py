@@ -5,16 +5,32 @@ name, so a driver can write ``make_backend("symex<workers=4>")`` or
 ``make_backend("symex<searcher=bfs,ubtree=off>")`` without touching
 executor internals.  The flags mirror
 :class:`~repro.symex.solver.SolverConfig`: ``ubtree``,
-``rewrite-equalities``, ``branch-and-prune`` and ``seeded-splits``, each
-accepting ``on``/``off`` (also ``true``/``false``/``1``/``0``), plus the
-integer ``ubtree-capacity`` (0 = unbounded).  ``workers=N`` with ``N > 1``
-explores through the :class:`~repro.symex.parallel.ParallelExecutor`
-worker pool (``processes=on`` selects its process-pool escape hatch).
+``rewrite-equalities``, ``branch-and-prune``, ``seeded-splits`` and
+``minimize-cores``, each accepting ``on``/``off`` (also
+``true``/``false``/``1``/``0``), plus the integer ``ubtree-capacity``
+(0 = unbounded).  ``workers=N`` with ``N > 1`` explores through the
+:class:`~repro.symex.parallel.ParallelExecutor` worker pool
+(``processes=on`` selects its process-pool escape hatch).
+
+Two parameters open the backend to callers that manage solver knowledge
+themselves (the verification service, tests):
+
+* ``caches`` — a prebuilt :class:`~repro.symex.solver.SharedSolverCaches`
+  the run solves into instead of constructing its own, so consecutive
+  runs (or concurrent jobs) share learned results;
+* ``store=PATH`` — a :class:`~repro.service.store.SolverKnowledgeStore`
+  file: the run primes its caches from it, consults the per-function
+  verification memo (an unchanged module/request skips symex entirely),
+  and persists everything it learned back on completion.  The outcome's
+  ``provenance`` field reports what happened: ``memo-hit``,
+  ``warm-store`` (at least one primed entry answered a group query), or
+  ``cold``.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from ..ir import Module
 from ..verification import (
@@ -24,7 +40,7 @@ from ..verification import (
 from .executor import SymexLimits, explore
 from .parallel import ParallelExecutor
 from .searcher import make_searcher
-from .solver import Solver, SolverConfig
+from .solver import SharedSolverCaches, Solver, SolverConfig
 
 _TRUTHY = {True, 1, "1", "on", "true", "yes"}
 _FALSY = {False, 0, "0", "off", "false", "no"}
@@ -61,7 +77,10 @@ class SymexBackend(VerificationBackend):
                  rewrite_equalities: object = True,
                  branch_and_prune: object = True,
                  seeded_splits: object = True,
-                 ubtree_capacity: object = 0) -> None:
+                 ubtree_capacity: object = 0,
+                 minimize_cores: object = True,
+                 store: object = "",
+                 caches: Optional[SharedSolverCaches] = None) -> None:
         make_searcher(searcher)  # validate the name eagerly
         self.searcher = searcher
         self.workers = _parse_count("workers", workers, 1)
@@ -75,9 +94,23 @@ class SymexBackend(VerificationBackend):
             seeded_splits=_parse_flag("seeded-splits", seeded_splits),
             ubtree_capacity=_parse_count("ubtree-capacity", ubtree_capacity,
                                          0),
+            minimize_cores=_parse_flag("minimize-cores", minimize_cores),
         )
+        if store is not None and not isinstance(store, str):
+            raise BackendSpecError(
+                f"symex: 'store' must be a path string, got {store!r}")
+        self.store_path = store or ""
+        #: Caller-injected solver caches.  ``None``: a plain run builds a
+        #: private set per verification; a ``store`` run builds one so it
+        #: has something to prime and persist.
+        self.caches = caches
 
-    def describe(self) -> str:
+    def _config_spec(self) -> str:
+        """The canonical spec of the engine configuration — everything
+        that can change a verification outcome, and nothing that cannot
+        (the store path is deliberately excluded: it feeds the memo
+        fingerprint, and where knowledge is stored must not change what a
+        verification means)."""
         parts = []
         if self.searcher != "dfs":
             parts.append(f"searcher={self.searcher}")
@@ -90,7 +123,8 @@ class SymexBackend(VerificationBackend):
                              ("rewrite-equalities",
                               config.rewrite_equalities),
                              ("branch-and-prune", config.branch_and_prune),
-                             ("seeded-splits", config.seeded_splits)):
+                             ("seeded-splits", config.seeded_splits),
+                             ("minimize-cores", config.minimize_cores)):
             if not enabled:
                 parts.append(f"{key}=off")
         if config.ubtree_capacity:
@@ -99,24 +133,64 @@ class SymexBackend(VerificationBackend):
             return f"symex<{','.join(parts)}>"
         return "symex"
 
+    def describe(self) -> str:
+        spec = self._config_spec()
+        if not self.store_path:
+            return spec
+        store_part = f"store={self.store_path}"
+        if spec.endswith(">"):
+            return f"{spec[:-1]},{store_part}>"
+        return f"{spec}<{store_part}>"
+
     def verify(self, module: Module,
                request: VerificationRequest) -> VerificationOutcome:
         limits = SymexLimits(timeout_seconds=request.timeout_seconds,
                              max_instructions=request.max_instructions)
+        store = None
+        memo_key = None
+        if self.store_path:
+            # Imported lazily: plain symex runs must not pay for (or
+            # depend on) the service package.
+            from ..service.store import (
+                SolverKnowledgeStore, WireError, memo_to_outcome,
+                outcome_to_memo, verification_fingerprint,
+            )
+            store = SolverKnowledgeStore(self.store_path)
+            store.load()
+            memo_key = verification_fingerprint(module, request,
+                                                self._config_spec())
+            payload = store.memo_lookup(memo_key)
+            if payload is not None:
+                try:
+                    return memo_to_outcome(payload, backend=self.describe())
+                except WireError:
+                    pass  # damaged memo: fall through and re-verify
+        caches = self.caches
+        if caches is None and store is not None:
+            caches = SharedSolverCaches(
+                num_stripes=self.workers,
+                ubtree_capacity=self.solver_config.ubtree_capacity,
+                locked=self.workers > 1)
+        if store is not None and caches is not None:
+            store.prime(caches)
         start = time.perf_counter()
         if self.workers > 1 or self.use_processes:
             executor = ParallelExecutor(
                 module, entry=request.entry, searcher=self.searcher,
                 workers=self.workers, solver_config=self.solver_config,
-                limits=limits, use_processes=self.use_processes)
+                limits=limits, use_processes=self.use_processes,
+                shared_caches=caches)
             report = executor.run(request.symbolic_input_bytes)
         else:
             report = explore(module, request.symbolic_input_bytes,
                              entry=request.entry, searcher=self.searcher,
                              limits=limits,
-                             solver=Solver(config=self.solver_config))
+                             solver=Solver(config=self.solver_config,
+                                           shared=caches))
         seconds = time.perf_counter() - start
-        return VerificationOutcome(
+        provenance = "warm-store" if report.solver_stats.store_hits \
+            else "cold"
+        outcome = VerificationOutcome(
             backend=self.describe(),
             seconds=seconds,
             instructions=report.stats.instructions_interpreted,
@@ -126,7 +200,14 @@ class SymexBackend(VerificationBackend):
             bug_signatures=frozenset(report.bug_signatures()),
             solver_stats=report.solver_stats.as_dict(),
             detail=report,
+            provenance=provenance,
         )
+        if store is not None:
+            if caches is not None:
+                store.absorb(caches)
+            store.memo_record(memo_key, outcome_to_memo(outcome))
+            store.save()
+        return outcome
 
 
 register_backend("symex", SymexBackend)

@@ -172,7 +172,8 @@ class ParallelExecutor:
                  searcher: str = "dfs", workers: int = 4,
                  solver_config: Optional[SolverConfig] = None,
                  limits: Optional[SymexLimits] = None,
-                 use_processes: bool = False) -> None:
+                 use_processes: bool = False,
+                 shared_caches: Optional[SharedSolverCaches] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if searcher not in ("dfs", "bfs", "random"):
@@ -184,6 +185,11 @@ class ParallelExecutor:
         self.solver_config = solver_config or SolverConfig()
         self.limits = limits or SymexLimits()
         self.use_processes = use_processes
+        #: Caller-provided solver caches (the verification service injects
+        #: one set shared across jobs, possibly primed from a persistent
+        #: store).  Must be built with ``locked=True`` when ``workers > 1``.
+        #: ``None``: the run builds its own, one stripe per worker.
+        self.shared_caches = shared_caches
 
     # ------------------------------------------------------------- threads
     def run(self, num_input_bytes: int) -> SymexReport:
@@ -198,9 +204,10 @@ class ParallelExecutor:
     def _run_threads(self, num_input_bytes: int) -> SymexReport:
         workers = self.workers
         config = self.solver_config
-        shared = SharedSolverCaches(num_stripes=workers,
-                                    ubtree_capacity=config.ubtree_capacity,
-                                    locked=workers > 1)
+        shared = self.shared_caches or SharedSolverCaches(
+            num_stripes=workers,
+            ubtree_capacity=config.ubtree_capacity,
+            locked=workers > 1)
         frontier = WorkStealingFrontier(workers, mode=self.searcher)
         # Worker 0 doubles as the bootstrap engine: it builds the globals
         # and the initial state; the other engines share both read-only.

@@ -72,6 +72,12 @@ BNP_LEAF_ENUMERATION = 2048
 #: the conservative "maybe satisfiable" answer.
 BNP_MAX_SPLITS = 20_000
 
+#: UNSAT groups larger than this skip core minimization: the deletion
+#: filter re-solves the group once per dropped constraint, and the
+#: quadratic worst case is not worth it for huge groups (which rarely
+#: recur as subsets of later queries anyway).
+CORE_MINIMIZATION_LIMIT = 16
+
 
 @dataclass(frozen=True)
 class SolverConfig:
@@ -99,6 +105,10 @@ class SolverConfig:
     #: Size cap per UBTree counterexample index (stored sets, LRU-by-hit
     #: eviction); 0 = unbounded.  Bounds the memory of very long runs.
     ubtree_capacity: int = 0
+    #: Shrink UNSAT groups to a minimal core (greedy deletion filter)
+    #: before inserting them into the UBTree UNSAT index — smaller cores
+    #: are subsets of more future queries, so each one subsumes more.
+    minimize_cores: bool = True
 
 
 @dataclass
@@ -130,6 +140,15 @@ class SolverStats:
     equality_rewrites: int = 0
     #: Interval splits performed by branch-and-prune searches.
     prune_splits: int = 0
+    #: UNSAT groups whose cores were shrunk before insertion into the
+    #: UNSAT index (:attr:`SolverConfig.minimize_cores`).
+    cores_minimized: int = 0
+    #: Group-cache and concretization-model hits answered by entries that
+    #: were primed from a persistent knowledge store
+    #: (:class:`repro.service.store.SolverKnowledgeStore`) rather than
+    #: solved in this run.  UBTree containment hits on primed sets are
+    #: counted as ordinary ``ubtree_hits``.
+    store_hits: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return asdict(self)
@@ -183,7 +202,7 @@ class _CacheStripe:
     one lock acquisition covers a whole lookup or insertion."""
 
     __slots__ = ("lock", "group_cache", "sat_index", "unsat_index", "models",
-                 "canonical_models")
+                 "canonical_models", "from_store", "canonical_from_store")
 
     def __init__(self, lock: object, ubtree_capacity: int) -> None:
         self.lock = lock
@@ -198,6 +217,11 @@ class _CacheStripe:
         #: whose identity depends on what happened to be cached first.
         #: Backs :meth:`Solver.concretization_model`.
         self.canonical_models: Dict[FrozenSet[Expr], Dict[str, int]] = {}
+        #: Group-cache keys primed from a persistent store (provenance
+        #: accounting only: a hit on one bumps ``SolverStats.store_hits``).
+        self.from_store: set = set()
+        #: Same, for primed canonical-model keys.
+        self.canonical_from_store: set = set()
 
 
 class SharedSolverCaches:
@@ -233,6 +257,81 @@ class SharedSolverCaches:
         if self._num_stripes == 1:
             return self.stripes[0]
         return self.stripes[hash(group_key) % self._num_stripes]
+
+    # ------------------------------------------------- persistence support
+    # The knowledge store (repro.service.store) speaks in terms of these
+    # two methods: export_state() snapshots everything worth persisting at
+    # the Expr level, absorb_state() injects a (possibly deserialized)
+    # snapshot back.  Keeping the stripe layout private here means the
+    # store never touches locks or routing.
+
+    def export_state(self) -> Dict[str, list]:
+        """Snapshot the persistable cache contents across all stripes.
+
+        Returns Expr-level entries: exact group results, SAT index sets
+        with their models, UNSAT index sets (minimized cores included),
+        and canonical concretization models.  Inexact (budget-exhausted)
+        group results are excluded — they are conservative answers, not
+        knowledge worth re-using."""
+        state: Dict[str, list] = {"groups": [], "sat_sets": [],
+                                  "unsat_sets": [], "canonical_models": []}
+        for stripe in self.stripes:
+            with stripe.lock:
+                for key, result in stripe.group_cache.items():
+                    if result.exact:
+                        model = None if result.model is None \
+                            else dict(result.model)
+                        state["groups"].append(
+                            (key, SolverResult(result.satisfiable, model)))
+                for elements, model in stripe.sat_index.items():
+                    state["sat_sets"].append((elements, dict(model)))
+                for elements, _payload in stripe.unsat_index.items():
+                    state["unsat_sets"].append(elements)
+                for key, model in stripe.canonical_models.items():
+                    state["canonical_models"].append((key, dict(model)))
+        return state
+
+    def absorb_state(self, state: Dict[str, list],
+                     from_store: bool = False) -> int:
+        """Inject a snapshot produced by :meth:`export_state` (possibly in
+        another process, deserialized from disk).  Existing entries win:
+        absorption never overwrites what this run already solved.  With
+        ``from_store`` the injected keys are tagged so later hits count as
+        ``SolverStats.store_hits``.  Returns the number of entries added."""
+        absorbed = 0
+        for key, result in state.get("groups", ()):
+            key = frozenset(key)
+            stripe = self.stripe_for(key)
+            with stripe.lock:
+                if key not in stripe.group_cache:
+                    stripe.group_cache[key] = result
+                    if from_store:
+                        stripe.from_store.add(key)
+                    absorbed += 1
+        for elements, model in state.get("sat_sets", ()):
+            elements = tuple(elements)
+            stripe = self.stripe_for(frozenset(elements))
+            with stripe.lock:
+                if not stripe.sat_index.contains(elements):
+                    stripe.sat_index.insert(elements, dict(model))
+                    absorbed += 1
+        for elements in state.get("unsat_sets", ()):
+            elements = tuple(elements)
+            stripe = self.stripe_for(frozenset(elements))
+            with stripe.lock:
+                if not stripe.unsat_index.contains(elements):
+                    stripe.unsat_index.insert(elements, True)
+                    absorbed += 1
+        for key, model in state.get("canonical_models", ()):
+            key = frozenset(key)
+            stripe = self.stripe_for(key)
+            with stripe.lock:
+                if key not in stripe.canonical_models:
+                    stripe.canonical_models[key] = dict(model)
+                    if from_store:
+                        stripe.canonical_from_store.add(key)
+                    absorbed += 1
+        return absorbed
 
 
 class Solver:
@@ -526,6 +625,9 @@ class Solver:
                 stripe = self._shared.stripe_for(key)
                 with stripe.lock:
                     model = stripe.canonical_models.get(key)
+                    if model is not None and \
+                            key in stripe.canonical_from_store:
+                        self.stats.store_hits += 1
                 if model is None:
                     result = self._solve_group_uncached(filtered)
                     if not result.satisfiable or not result.exact or \
@@ -666,6 +768,8 @@ class Solver:
                 cached = stripe.group_cache.get(group_key)
                 if cached is not None:
                     self.stats.cache_hits += 1
+                    if group_key in stripe.from_store:
+                        self.stats.store_hits += 1
                     return cached
                 if self.config.ubtree:
                     # Under the lock: only the trie walks (they read the
@@ -700,6 +804,11 @@ class Solver:
         # than serializing every colliding query behind it.
         result = self._solve_group_uncached(constraints)
         if self.enable_cache and result.exact:
+            core = constraints
+            if not result.satisfiable and self.config.ubtree and \
+                    self.config.minimize_cores and \
+                    1 < len(constraints) <= CORE_MINIMIZATION_LIMIT:
+                core = self._minimize_unsat_core(constraints)
             with stripe.lock:
                 stripe.group_cache[group_key] = result
                 if self.config.ubtree:
@@ -708,10 +817,38 @@ class Solver:
                             stripe.sat_index.insert(constraints,
                                                     dict(result.model))
                     else:
-                        stripe.unsat_index.insert(constraints, True)
+                        stripe.unsat_index.insert(core, True)
                 elif result.satisfiable and result.model:
                     self._remember_model(stripe, result.model)
         return result
+
+    def _minimize_unsat_core(self, constraints: List[Expr]) -> List[Expr]:
+        """Shrink an UNSAT group to a minimal core by a greedy deletion
+        filter: drop each constraint in turn and keep the deletion whenever
+        the remainder is still provably UNSAT.  The result is subset-
+        minimal with respect to single deletions, so the UNSAT index entry
+        subsumes every future query containing just the core.
+
+        The probe solves are bookkeeping, not query work: they run against
+        a scratch stats object so ``csp_searches``/``assignments_tried``
+        keep measuring what the workload itself cost."""
+        core = list(constraints)
+        saved_stats = self.stats
+        self.stats = SolverStats()
+        try:
+            index = 0
+            while len(core) > 1 and index < len(core):
+                candidate = core[:index] + core[index + 1:]
+                probe = self._solve_group_uncached(candidate)
+                if probe.exact and not probe.satisfiable:
+                    core = candidate
+                else:
+                    index += 1
+        finally:
+            self.stats = saved_stats
+        if len(core) < len(constraints):
+            self.stats.cores_minimized += 1
+        return core
 
     # ---------------------------------------------------------- model reuse
     @staticmethod

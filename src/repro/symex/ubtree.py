@@ -239,6 +239,27 @@ class UBTree:
         self._refresh(tuple(path))
         return found.value
 
+    def items(self) -> Iterator[Tuple[Tuple[Expr, ...], object]]:
+        """Every stored set with its payload, in id-lexicographic trie
+        order: ``(elements, value)`` pairs, elements sorted by this tree's
+        internal ids.  This is the persistence layer's export path — the
+        pairs round-trip through :meth:`insert` on another tree (ids are
+        tree-local, so only the element *sets* transfer, which is exactly
+        the part containment lookups depend on)."""
+        by_id = {element_id: element
+                 for element, element_id in self._element_ids.items()}
+        path: List[int] = []
+
+        def walk(node: _Node) -> Iterator[Tuple[Tuple[Expr, ...], object]]:
+            if node.terminal:
+                yield tuple(by_id[eid] for eid in path), node.value
+            for element_id in sorted(node.children):
+                path.append(element_id)
+                yield from walk(node.children[element_id])
+                path.pop()
+
+        yield from walk(self._root)
+
     def iter_subsets(self, elements: Iterable[Expr]) -> Iterator[object]:
         """Payloads of every stored subset of the query, largest-first is
         *not* guaranteed — iteration follows trie order.  Enumerated

@@ -57,6 +57,13 @@ class VerificationOutcome:
     #: Constraint-solver counters (queries, cache/model-cache hits,
     #: assignments tried, ...) for solver-backed engines; empty otherwise.
     solver_stats: Dict[str, float] = field(default_factory=dict)
+    #: Where the answer came from, for cache-aware drivers (the
+    #: verification service): ``"cold"`` — computed from scratch;
+    #: ``"warm-store"`` — computed, but at least one solver group was
+    #: answered by an entry primed from a persistent knowledge store;
+    #: ``"memo-hit"`` — the whole run was skipped because the
+    #: post-pipeline IR fingerprint matched a memoized verification.
+    provenance: str = "cold"
     #: The engine-specific report (``SymexReport`` / ``ExecutionResult``)
     #: for drivers that want the details.
     detail: object = None

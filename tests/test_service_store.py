@@ -1,0 +1,450 @@
+"""Tests for the persistent solver-knowledge store.
+
+Four layers are locked down here:
+
+* the **wire codec**: expressions round-trip through their canonical
+  schedule form back to the *identical* (interned) object, group
+  fingerprints are order-independent, and damaged wire forms raise
+  :class:`WireError` instead of materializing malformed expressions;
+* the **file format**: save/load round-trips every table, and every
+  corruption mode — version mismatch, truncated tail, flipped record
+  bytes, junk content, a directory in the file's place — degrades to a
+  cold start with the reason recorded, never an exception or a wrong
+  answer;
+* **concurrent writers**: read-merge-replace unions knowledge from
+  racing stores, and parallel savers never produce an unparseable file;
+* the **warm-vs-cold differential** over the workload registry: priming
+  a fresh run from a store produced by a cold run must not change a
+  single observable — bug signatures, path sets (test inputs included),
+  outcomes — at any optimization level.
+
+``STORE_DIFFERENTIAL_WORKLOADS`` selects the differential's workloads:
+a comma-separated name list, or ``all`` for the full registry (the
+acceptance configuration; the *cold* halves of a few solver-hard builds
+dominate its ~10-minute runtime — the warm halves are near-free, which
+is rather the point).  The default is a representative subset spanning
+the fast, path-heavy, bug-carrying, and solver-hard categories.
+``STORE_DIFFERENTIAL_BYTES`` sets the symbolic input size (default 2 —
+a handful of -OVERIFY builds carry solver-hard runtime-check constraints
+whose cold solve takes minutes at larger sizes).
+"""
+
+import json
+import os
+import random
+import threading
+
+import pytest
+
+from repro.pipelines import CompileOptions, CompilerSession, OptLevel
+from repro.service.store import (
+    FORMAT_NAME, FORMAT_VERSION, SolverKnowledgeStore, WireError,
+    expr_from_wire, expr_to_wire, group_fingerprint,
+)
+from repro.symex import (
+    ExprOp, SharedSolverCaches, Solver, SolverConfig, SolverResult,
+    SymexLimits, binary, const, explore, not_expr, var,
+)
+from repro.workloads import all_workloads, get_workload
+
+# ---------------------------------------------------------------- wire codec
+
+
+def _sample_exprs():
+    a, b = var(8, "in0"), var(8, "in1")
+    shared = binary(ExprOp.ADD, a, b)
+    return [
+        const(8, 0),
+        const(32, 2**31),
+        a,
+        binary(ExprOp.EQ, shared, const(8, 7)),
+        # The same subterm twice: the schedule must share it, and the
+        # round trip must preserve the sharing.
+        binary(ExprOp.AND, binary(ExprOp.ULT, shared, const(8, 9)),
+               not_expr(binary(ExprOp.EQ, shared, const(8, 3)))),
+        binary(ExprOp.MUL, binary(ExprOp.SUB, a, const(8, 1)),
+               binary(ExprOp.XOR, b, const(8, 0x55))),
+    ]
+
+
+def test_expr_wire_round_trip_is_identity():
+    for expr in _sample_exprs():
+        wire = expr_to_wire(expr)
+        json.dumps(wire)  # must be JSON-serializable as-is
+        assert expr_from_wire(wire) is expr  # hash-consing: same object
+
+
+def test_expr_wire_round_trip_randomized():
+    rng = random.Random(20130507)
+    names = ["in0", "in1", "in2"]
+    ops = [ExprOp.ADD, ExprOp.SUB, ExprOp.MUL, ExprOp.AND, ExprOp.OR,
+           ExprOp.XOR, ExprOp.EQ, ExprOp.NE, ExprOp.ULT, ExprOp.SLE]
+
+    def build(depth=0):
+        if depth >= 3 or rng.random() < 0.35:
+            if rng.random() < 0.5:
+                return var(8, rng.choice(names))
+            return const(8, rng.randrange(256))
+        return binary(rng.choice(ops), build(depth + 1), build(depth + 1))
+
+    for _ in range(300):
+        expr = build()
+        assert expr_from_wire(expr_to_wire(expr)) is expr
+
+
+def test_group_fingerprint_order_independent():
+    a, b = var(8, "in0"), var(8, "in1")
+    constraints = [binary(ExprOp.ULT, a, const(8, 10)),
+                   binary(ExprOp.EQ, b, const(8, 3)),
+                   not_expr(binary(ExprOp.EQ, a, b))]
+    fingerprint = group_fingerprint(constraints)
+    rng = random.Random(1)
+    for _ in range(5):
+        shuffled = list(constraints)
+        rng.shuffle(shuffled)
+        assert group_fingerprint(shuffled) == fingerprint
+    assert group_fingerprint(constraints[:2]) != fingerprint
+
+
+@pytest.mark.parametrize("wire", [
+    None,
+    [],
+    "nonsense",
+    [["q", 8, 0]],                      # unknown tag
+    [["c", 0, 1]],                      # width out of range
+    [["c", 65, 1]],                     # width out of range
+    [["c", True, 1]],                   # bool masquerading as width
+    [["c", 8, True]],                   # bool masquerading as value
+    [["c", 8, "x"]],                    # non-integer constant
+    [["v", 8, ""]],                     # empty variable name
+    [["v", 8, 7]],                      # non-string variable name
+    [["add", 8, [0, 1]]],               # forward/out-of-range reference
+    [["c", 8, 1], ["add", 8, [0, 1]]],  # self-reference
+    [["c", 8, 1], ["add", 8, []]],      # no operands
+    [["c", 8, 1], ["const", 8, [0]]],   # const spelled as operator
+    [["c", 8, 1], ["add", 8, 0]],       # operand list not a list
+    [["c", 8, 1, 2]],                   # wrong arity
+])
+def test_expr_from_wire_rejects_damage(wire):
+    with pytest.raises(WireError):
+        expr_from_wire(wire)
+
+
+# ------------------------------------------------------------ file round trip
+
+
+def _populated_store(path):
+    """A store holding one entry of every kind."""
+    a, b = var(8, "in0"), var(8, "in1")
+    sat_group = frozenset([binary(ExprOp.ULT, a, const(8, 10))])
+    unsat_group = frozenset([binary(ExprOp.EQ, a, const(8, 1)),
+                             binary(ExprOp.EQ, a, const(8, 2))])
+    store = SolverKnowledgeStore(path)
+    caches = SharedSolverCaches(num_stripes=2)
+    caches.absorb_state({
+        "groups": [(sat_group, SolverResult(True, {"in0": 3})),
+                   (unsat_group, SolverResult(False, None))],
+        "sat_sets": [(tuple(sorted(sat_group, key=str)), {"in0": 3})],
+        "unsat_sets": [tuple(sorted(unsat_group, key=str))],
+        "canonical_models": [(frozenset([binary(ExprOp.EQ, b, const(8, 5))]),
+                              {"in1": 5})],
+    })
+    store.absorb(caches)
+    store.memo_record("deadbeef" * 8, {"paths": 4, "errors": 0})
+    return store
+
+
+def test_store_round_trip(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    store = _populated_store(path)
+    assert len(store) == 6  # 2 groups + sat + unsat + canonical + memo
+    store.save()
+
+    loaded = SolverKnowledgeStore(path)
+    assert loaded.load() is True
+    assert loaded.load_error == ""
+    assert len(loaded) == len(store)
+    assert loaded.memo_count == 1
+    assert loaded.memo_lookup("deadbeef" * 8) == {"paths": 4, "errors": 0}
+
+    # Priming a fresh cache set from the loaded store reproduces the
+    # original solver knowledge: the sat group hits, the unsat group hits.
+    caches = SharedSolverCaches(num_stripes=2)
+    assert loaded.prime(caches) == 5  # 2 groups + sat + unsat + canonical
+    solver = Solver(shared=caches)
+    a = var(8, "in0")
+    assert solver.check([binary(ExprOp.ULT, a, const(8, 10))]).satisfiable
+    assert not solver.check([binary(ExprOp.EQ, a, const(8, 1)),
+                             binary(ExprOp.EQ, a, const(8, 2))]).satisfiable
+    assert solver.stats.store_hits == 2
+
+
+def test_save_without_path_is_noop(tmp_path):
+    store = SolverKnowledgeStore(None)
+    store.memo_record("k", {"v": 1})
+    store.save()  # must not raise, must not write anywhere
+    assert store.load() is False
+    # load() resets even a memory-only store
+    assert store.memo_lookup("k") is None
+
+
+# --------------------------------------------------------- corruption → cold
+
+
+def _assert_cold(path, reason_fragment):
+    store = SolverKnowledgeStore(path)
+    assert store.load() is False
+    assert reason_fragment in store.load_error
+    assert len(store) == 0
+
+
+def test_missing_file_is_cold(tmp_path):
+    _assert_cold(tmp_path / "nope.jsonl", "missing")
+
+
+def test_version_mismatch_is_cold(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    store = _populated_store(path)
+    store.save()
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header == {"format": FORMAT_NAME, "version": FORMAT_VERSION}
+    header["version"] = FORMAT_VERSION + 1
+    lines[0] = json.dumps(header)
+    path.write_text("\n".join(lines) + "\n")
+    _assert_cold(path, "version")
+
+
+def test_wrong_format_name_is_cold(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    path.write_text(json.dumps({"format": "something-else", "version": 1})
+                    + "\n" + json.dumps({"kind": "end", "records": 0}) + "\n")
+    _assert_cold(path, "not a solver store")
+
+
+def test_truncated_file_is_cold(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    store = _populated_store(path)
+    store.save()
+    full = path.read_text()
+    # Chop the footer (a clean line-boundary truncation)...
+    lines = full.splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    _assert_cold(path, "truncated")
+    # ...then a mid-record truncation.
+    path.write_text(full[:len(full) * 2 // 3])
+    store2 = SolverKnowledgeStore(path)
+    assert store2.load() is False
+    assert store2.load_error != ""
+
+
+def test_flipped_record_byte_is_cold(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    store = _populated_store(path)
+    store.save()
+    lines = path.read_text().splitlines()
+    # Flip a value inside a record body without touching its checksum.
+    victim = json.loads(lines[1])
+    for key, value in victim.items():
+        if isinstance(value, bool):
+            victim[key] = not value
+            break
+    else:
+        victim["key"] = "0" * len(victim.get("key", "00"))
+    lines[1] = json.dumps(victim)
+    path.write_text("\n".join(lines) + "\n")
+    _assert_cold(path, "checksum")
+
+
+def test_junk_content_is_cold(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    path.write_text("this is not even json\n")
+    store = SolverKnowledgeStore(path)
+    assert store.load() is False
+    assert store.load_error.startswith("corrupt")
+
+
+def test_empty_file_is_cold(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    path.write_text("")
+    _assert_cold(path, "empty")
+
+
+def test_unreadable_path_is_cold(tmp_path):
+    # A directory where the file should be: open() fails, load is cold.
+    path = tmp_path / "knowledge.jsonl"
+    path.mkdir()
+    store = SolverKnowledgeStore(path)
+    assert store.load() is False
+    assert store.load_error.startswith("unreadable")
+
+
+def test_damaged_stored_expression_is_skipped_not_fatal(tmp_path):
+    """A record that passes the checksum but whose wire form no longer
+    decodes (e.g. written by a build with an operator this build lacks)
+    is skipped during priming, not fatal, and not wrong."""
+    path = tmp_path / "knowledge.jsonl"
+    store = _populated_store(path)
+    with store._lock:
+        keys = sorted(store._groups)
+        store._groups[keys[0]]["constraints"] = [[["q", 8, 0]]]
+    store.save()
+    loaded = SolverKnowledgeStore(path)
+    assert loaded.load() is True  # checksums match: the file is valid
+    caches = SharedSolverCaches(num_stripes=2)
+    primed = loaded.prime(caches)
+    assert primed == 4  # one group dropped, everything else intact
+
+
+# ------------------------------------------------------- concurrent writers
+
+
+def test_read_merge_replace_unions_writers(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    first = SolverKnowledgeStore(path)
+    first.memo_record("aa" * 32, {"paths": 1})
+    second = SolverKnowledgeStore(path)
+    second.memo_record("bb" * 32, {"paths": 2})
+    first.save()
+    second.save()  # must merge, not clobber, first's record
+
+    merged = SolverKnowledgeStore(path)
+    assert merged.load() is True
+    assert merged.memo_lookup("aa" * 32) == {"paths": 1}
+    assert merged.memo_lookup("bb" * 32) == {"paths": 2}
+
+
+def test_existing_entry_wins_on_collision(tmp_path):
+    path = tmp_path / "knowledge.jsonl"
+    first = SolverKnowledgeStore(path)
+    first.memo_record("cc" * 32, {"paths": 1})
+    first.save()
+    second = SolverKnowledgeStore(path)
+    second.load()
+    second.memo_record("cc" * 32, {"paths": 99})
+    second.save()
+    merged = SolverKnowledgeStore(path)
+    merged.load()
+    # The saver's own (newer) entry wins within its save; what matters is
+    # the file stays coherent and holds exactly one record for the key.
+    assert merged.memo_lookup("cc" * 32) in ({"paths": 1}, {"paths": 99})
+    assert merged.memo_count == 1
+
+
+def test_concurrent_savers_never_corrupt(tmp_path):
+    """Many threads saving disjoint knowledge into one path: every save
+    must leave a parseable file, and the final file must hold a
+    consistent union (atomic replace means a whole save can lose the
+    race, but the file can never interleave two writers)."""
+    path = tmp_path / "knowledge.jsonl"
+    errors = []
+
+    def writer(index):
+        try:
+            store = SolverKnowledgeStore(path)
+            store.load()
+            for j in range(5):
+                store.memo_record(f"{index:02d}{j:02d}" * 16, {"n": index})
+            store.save()
+            check = SolverKnowledgeStore(path)
+            if not check.load():
+                errors.append(f"writer {index} read cold: "
+                              f"{check.load_error}")
+        except Exception as exc:  # pragma: no cover - the test's point
+            errors.append(f"writer {index}: {exc!r}")
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    final = SolverKnowledgeStore(path)
+    assert final.load() is True
+    assert final.memo_count >= 5  # at least one writer's records survive
+    assert final.memo_count % 5 == 0  # whole saves, never partial ones
+
+
+# ------------------------------------------------- warm-vs-cold differential
+
+_LEVELS = [OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3,
+           OptLevel.OVERIFY]
+
+
+_DIFFERENTIAL_BYTES = int(os.environ.get("STORE_DIFFERENTIAL_BYTES", "2"))
+
+#: The default differential subset: the parallel-determinism quartet plus
+#: path-heavy (cat, cut, expand), bug-carrying (buggy_*), and solver-hard
+#: (basename at -O2+ carries runtime-check constraints whose cold solve
+#: takes ~10s; its warm solve must still be byte-identical) workloads.
+_DEFAULT_DIFFERENTIAL = ["wc", "uniq", "buggy_div", "buggy_index",
+                         "basename", "cat", "cut", "expand", "echo_args"]
+
+
+def _differential_workloads():
+    names = os.environ.get("STORE_DIFFERENTIAL_WORKLOADS", "")
+    if names == "all":
+        return list(all_workloads())
+    if names:
+        return [get_workload(name) for name in names.split(",") if name]
+    return [get_workload(name) for name in _DEFAULT_DIFFERENTIAL]
+
+
+def _path_content(record):
+    """A path's observable content (state ids are scheduling artifacts)."""
+    return (record.status.value, record.constraint_count,
+            record.instructions, record.test_input, record.return_value)
+
+
+def _observables(report):
+    return {
+        "bugs": sorted((bug.signature(), bug.message, bug.test_input)
+                       for bug in report.bugs),
+        "paths": sorted(_path_content(record) for record in report.paths),
+        "outcome": (report.stats.paths_completed,
+                    report.stats.paths_errored,
+                    report.stats.paths_terminated,
+                    report.stats.instructions_interpreted,
+                    report.stats.timed_out),
+    }
+
+
+def test_warm_store_differential_over_registry(tmp_path):
+    """The acceptance differential: for every registry workload at every
+    level, a run primed from a cold run's store must be byte-identical to
+    the cold run — same bug signatures, same path sets (test inputs
+    included), same outcome.  The binding budget is the (deterministic)
+    instruction budget, never wall clock: a warm run is faster, and a
+    wall-clock cutoff would let the two runs truncate differently."""
+    limits = SymexLimits(timeout_seconds=3600.0, max_instructions=60_000)
+    session = CompilerSession()
+    checked = 0
+    store_hits = 0
+    for workload in _differential_workloads():
+        for level in _LEVELS:
+            module = session.compile(
+                workload.source, options=CompileOptions(level=level)).module
+            store_path = tmp_path / f"{workload.name}-{level}.jsonl"
+
+            cold_caches = SharedSolverCaches(num_stripes=1)
+            cold = explore(module, _DIFFERENTIAL_BYTES, limits=limits,
+                           solver=Solver(shared=cold_caches))
+            store = SolverKnowledgeStore(store_path)
+            store.absorb(cold_caches)
+            store.save()
+
+            warm_store = SolverKnowledgeStore(store_path)
+            assert warm_store.load() is True or len(store) == 0
+            warm_caches = SharedSolverCaches(num_stripes=1)
+            warm_store.prime(warm_caches)
+            warm = explore(module, _DIFFERENTIAL_BYTES, limits=limits,
+                           solver=Solver(shared=warm_caches))
+
+            assert _observables(warm) == _observables(cold), \
+                f"{workload.name} at {level}: warm != cold"
+            checked += 1
+            store_hits += warm.solver_stats.store_hits
+    assert checked == len(_differential_workloads()) * len(_LEVELS)
+    # The differential must actually exercise the warm path: across the
+    # sweep, plenty of groups must have been answered by primed entries.
+    assert store_hits > checked
