@@ -35,7 +35,7 @@ from repro.symex import SymexLimits, explore, explore_parallel  # noqa: E402
 from repro.workloads import WC_PROGRAM  # noqa: E402
 
 from test_symex_solver_bench import (  # noqa: E402
-    BRANCH_HEAVY_PROGRAM, INPUT_BYTES, WIDE_VALUE_PROGRAM,
+    BRANCH_HEAVY_PROGRAM, INPUT_BYTES, WC_SWEEP_PATHS, WIDE_VALUE_PROGRAM,
 )
 
 WC_LEVELS = [OptLevel.O0, OptLevel.O2, OptLevel.O3, OptLevel.OVERIFY]
@@ -196,6 +196,39 @@ def _warm_store_trajectory() -> dict:
     return section
 
 
+def _fault_overhead() -> dict:
+    """The unarmed-injector guard: with no fault plan installed, the
+    fault sites threaded through the solver/executor/pool hot paths must
+    be free — the wc sweep reproduces the benchmark's exact per-level
+    path counts with zero engine errors, and the sweep's wall clock is
+    recorded so the trajectory would expose a guard that grew teeth."""
+    import repro.service.server  # noqa: F401 - registers the service sites
+    from repro.faults import INJECTOR
+
+    armed = INJECTOR.armed()
+    assert armed == [], f"fault injector armed during benchmarking: {armed}"
+    section: dict = {"registered_sites": len(INJECTOR.registered()),
+                     "armed_sites": 0}
+    total = 0.0
+    for level in WC_LEVELS:
+        compiled = compile_source(WC_PROGRAM, CompileOptions(level=level))
+        start = time.perf_counter()
+        report = explore(compiled.module, WC_INPUT_BYTES,
+                         limits=SymexLimits(timeout_seconds=TIMEOUT_SECONDS))
+        seconds = time.perf_counter() - start
+        total += seconds
+        paths = report.stats.total_paths
+        assert paths == WC_SWEEP_PATHS[level], (
+            f"{level}: {paths} paths with the injector disarmed, expected "
+            f"{WC_SWEEP_PATHS[level]} — the fault guards changed behaviour")
+        assert report.stats.engine_errors == 0, \
+            f"{level}: engine errors with no fault plan installed"
+        section[str(level)] = {"paths": paths,
+                               "verify_seconds": round(seconds, 3)}
+    section["sweep_seconds"] = round(total, 3)
+    return section
+
+
 def measure(label: str) -> dict:
     entry: dict = {"label": label,
                    "recorded_at": datetime.now(timezone.utc)
@@ -274,6 +307,10 @@ def measure(label: str) -> dict:
     # The cross-run amortization trajectory: cold vs store-warmed vs
     # memoized wc sweeps (see docs/service.md).
     entry["warm_store"] = _warm_store_trajectory()
+
+    # The robustness guard: fault sites cost nothing while disarmed
+    # (see docs/robustness.md).
+    entry["fault_overhead"] = _fault_overhead()
     return entry
 
 
@@ -284,7 +321,15 @@ def main() -> None:
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_symex.json",
                         help="JSON file to append the entry to")
+    parser.add_argument("--fault-overhead", action="store_true",
+                        help="run only the unarmed-injector guard (assert "
+                             "the disarmed wc sweep hits the benchmark path "
+                             "counts), print it, append nothing")
     args = parser.parse_args()
+
+    if args.fault_overhead:
+        print(json.dumps({"fault_overhead": _fault_overhead()}, indent=2))
+        return
 
     history = []
     if args.output.exists():

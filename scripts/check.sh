@@ -136,6 +136,14 @@ with tempfile.TemporaryDirectory() as tmp:
 PY
 
 echo
+echo "== chaos smoke: every fault site degrades as contracted =="
+python scripts/chaos_smoke.py
+
+echo
+echo "== fault overhead: disarmed injector reproduces benchmark path counts =="
+python scripts/bench_record.py --fault-overhead
+
+echo
 echo "== benchmark smoke (compile pipeline + session sweep + solver hot path, no timing rounds) =="
 # Timing assertions are skipped under --benchmark-disable, but the wc
 # sweep's exact per-level path counts (WC_SWEEP_PATHS) are always asserted.

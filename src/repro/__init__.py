@@ -15,7 +15,10 @@ The package provides:
 * ``repro.symex`` — a KLEE-style symbolic execution engine,
 * ``repro.vlibc`` — the verification-optimized C library,
 * ``repro.workloads`` — the wc kernel and Coreutils-like utilities,
-* ``repro.harness`` — drivers that regenerate the paper's tables and figures.
+* ``repro.harness`` — drivers that regenerate the paper's tables and figures,
+* ``repro.faults`` — the failure taxonomy and the deterministic
+  fault-injection harness behind the robustness guarantees
+  (``docs/robustness.md``).
 """
 
 __version__ = "1.0.0"

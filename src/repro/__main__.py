@@ -131,13 +131,15 @@ def _explain_paths(source: str, name: str, options: CompileOptions,
     verify_module(module)
     limits = SymexLimits(timeout_seconds=timeout)
 
-    def count_paths() -> int:
-        return explore(module, input_bytes, limits=limits).stats.total_paths
+    def count_paths():
+        stats = explore(module, input_bytes, limits=limits).stats
+        return stats.total_paths, stats.termination_reason
 
-    baseline = count_paths()
+    baseline, truncated = count_paths()
     print(f"path counts over {input_bytes} symbolic input bytes "
           f"(single pipeline iteration):")
-    print(f"  {'(front end)':<36} {baseline:>7} paths")
+    marker = f"  [{truncated} budget hit]" if truncated else ""
+    print(f"  {'(front end)':<36} {baseline:>7} paths{marker}")
     analyses = AnalysisManager()
     previous = baseline
     for pass_spec in spec.passes:
@@ -145,9 +147,11 @@ def _explain_paths(source: str, name: str, options: CompileOptions,
                                          analyses=analyses)
         stage.run(module)
         verify_module(module)
-        paths = count_paths()
+        paths, truncated = count_paths()
         delta = f"{paths - previous:+d}" if paths != previous else ""
-        print(f"  {format_pass(pass_spec):<36} {paths:>7} paths  {delta}")
+        marker = f"  [{truncated} budget hit]" if truncated else ""
+        print(f"  {format_pass(pass_spec):<36} {paths:>7} paths  "
+              f"{delta}{marker}")
         previous = paths
     removed = baseline - previous
     print(f"total    : {baseline} -> {previous} paths "
@@ -309,12 +313,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         outcome = backend.verify(module, request)
+        reason = outcome.termination_reason or \
+            ("timeout" if outcome.timed_out else "")
+        budget = f" ({reason} budget hit)" if reason else ""
         print(f"verify   : {outcome.backend}: {outcome.paths} paths, "
               f"{outcome.errors} errors, "
               f"{outcome.instructions} instructions "
               f"in {outcome.seconds:.3f}s"
-              f"{' (timed out)' if outcome.timed_out else ''}"
+              f"{budget}"
               f"{f' [{outcome.provenance}]' if args.store else ''}")
+        if outcome.engine_errors:
+            print(f"  warning: {outcome.engine_errors} path(s) abandoned "
+                  f"to contained engine errors")
         for signature in sorted(outcome.bug_signatures):
             print(f"  bug    : {', '.join(signature)}")
 

@@ -59,6 +59,12 @@ class ExperimentResult:
     paths: int
     errors: int
     timed_out: bool
+    #: Paths the verify backend abandoned because the *engine* failed
+    #: (contained faults, not program bugs); 0 on a healthy run.
+    engine_errors: int = 0
+    #: Which budget truncated verification ("timeout", "instructions",
+    #: "paths", "forks", "worker-loss"); "" when exploration finished.
+    termination_reason: str = ""
     transform_stats: Dict[str, int] = field(default_factory=dict)
     bug_signatures: frozenset = frozenset()
     return_value: Optional[int] = None
@@ -115,6 +121,8 @@ def run_experiment(name: str, source: str, config: ExperimentConfig,
         paths=verified.paths,
         errors=verified.errors,
         timed_out=verified.timed_out,
+        engine_errors=verified.engine_errors,
+        termination_reason=verified.termination_reason,
         transform_stats=compiled.stats.as_dict(),
         bug_signatures=verified.bug_signatures,
         return_value=concrete.return_value,

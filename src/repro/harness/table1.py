@@ -59,6 +59,9 @@ class Table1:
              lambda r: int(r.solver_stats.get("equality_rewrites", 0))),
             ("# prune splits",
              lambda r: int(r.solver_stats.get("prune_splits", 0))),
+            # Which budget stopped the run, if any — a truncated level's
+            # path/instruction rows undercount, and the table says so.
+            ("budget hit", lambda r: r.termination_reason or "none"),
         ]
         for label, getter in metrics:
             rows.append([label] + [getter(self.results[level])

@@ -35,12 +35,17 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import math
 import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
+from ..faults import (
+    DeadlineExceeded, EngineError, ProtocolError, ReproError, StoreError,
+    site as _fault_site,
+)
 from ..pipelines import CompileOptions, CompilerSession, parse_opt_level
 from ..symex.solver import SharedSolverCaches
 from ..verification import VerificationRequest, make_backend
@@ -53,6 +58,57 @@ from .store import (
 #: Stripes of the service's shared solver caches: enough that a handful of
 #: concurrent verifications rarely collide on a stripe lock.
 CACHE_STRIPES = 8
+
+#: Seconds past a job's cooperative deadline before the server stops
+#: waiting and answers ``error_kind="deadline"``.  The engine's own
+#: budget checks normally fire first; the backstop only triggers when a
+#: job wedges (the failure the deadline exists for).
+DEADLINE_GRACE = 5.0
+
+#: Fault site wrapping request dispatch (``docs/robustness.md``): proves
+#: a fault inside the handler produces one structured error response and
+#: leaves the server answering.
+_SERVER_HANDLE = _fault_site("server.handle", EngineError)
+
+
+def _field_float(request: Dict[str, object], name: str, default: float,
+                 minimum: float = 0.0) -> float:
+    """A finite float request field (numeric strings accepted), or a
+    :class:`ProtocolError` naming the offending field."""
+    value = request.get(name, default)
+    if isinstance(value, str):
+        try:
+            value = float(value)
+        except ValueError:
+            raise ProtocolError(
+                f"'{name}' must be a number, got {value!r}") from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"'{name}' must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(f"'{name}' must be finite, got {value!r}")
+    if value < minimum:
+        raise ProtocolError(
+            f"'{name}' must be >= {minimum:g}, got {value:g}")
+    return value
+
+
+def _field_int(request: Dict[str, object], name: str, default: int,
+               minimum: int = 0) -> int:
+    """An integer request field (digit strings accepted), or a
+    :class:`ProtocolError` naming the offending field."""
+    value = request.get(name, default)
+    if isinstance(value, str):
+        try:
+            value = int(value, 10)
+        except ValueError:
+            raise ProtocolError(
+                f"'{name}' must be an integer, got {value!r}") from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"'{name}' must be an integer, got {value!r}")
+    if value < minimum:
+        raise ProtocolError(f"'{name}' must be >= {minimum}, got {value}")
+    return value
 
 
 class VerificationServer:
@@ -75,17 +131,30 @@ class VerificationServer:
     save_every:
         Persist the store after every N completed (non-memoized) jobs;
         the store is always saved on shutdown.  0 = only at shutdown.
+    max_pending:
+        Backpressure bound: distinct jobs in flight at once (duplicates
+        ride an existing job for free).  A submission past the bound is
+        rejected with ``error_kind="backpressure"`` and a ``retry_after``
+        hint instead of queueing without limit.  0 = ``4 * pool_size + 4``.
+    drain_seconds:
+        On shutdown, how long to wait for in-flight jobs to finish (and
+        their clients to get answers) before tearing the pool down.
     """
 
     def __init__(self, socket_path: object, store_path: object = None,
                  backend: str = "symex", pool_size: int = 2,
-                 save_every: int = 1) -> None:
+                 save_every: int = 1, max_pending: int = 0,
+                 drain_seconds: float = 30.0) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
         self.socket_path = str(socket_path)
         self.backend_spec = backend
         self.pool_size = pool_size
         self.save_every = save_every
+        self.max_pending = max_pending or 4 * pool_size + 4
+        self.drain_seconds = drain_seconds
         self.store = SolverKnowledgeStore(store_path)
         self.caches = SharedSolverCaches(num_stripes=CACHE_STRIPES,
                                          locked=True)
@@ -96,13 +165,20 @@ class VerificationServer:
         self.primed_entries = 0
         self.stats: Dict[str, int] = {
             "jobs_completed": 0, "jobs_failed": 0, "jobs_deduped": 0,
+            "jobs_rejected": 0, "jobs_deadline_expired": 0,
             "memo_hits": 0, "warm_store": 0, "cold": 0, "saves": 0,
+            "saves_failed": 0,
         }
         self._session_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._save_lock = threading.Lock()
         self._jobs_since_save = 0
         self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: Distinct jobs currently running (event-loop-thread only).
+        self._active_jobs = 0
+        #: Runner tasks, referenced so the loop cannot drop them mid-job.
+        self._runners: set = set()
+        self._draining = False
         self._pool: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown: Optional[asyncio.Event] = None
@@ -127,22 +203,38 @@ class VerificationServer:
 
     async def serve_until_shutdown(self) -> None:
         """Serve until a ``shutdown`` request arrives, then clean up:
-        save the store, drain the pool, remove the socket."""
+        stop accepting, drain in-flight jobs (bounded by
+        ``drain_seconds``), save the store, remove the socket."""
         if self._server is None:
             await self.start()
         try:
             await self._shutdown.wait()
         finally:
+            self._draining = True
             self._server.close()
             await self._server.wait_closed()
+            drain_until = time.monotonic() + self.drain_seconds
+            while self._active_jobs > 0 and time.monotonic() < drain_until:
+                await asyncio.sleep(0.05)
             self._pool.shutdown(wait=True)
-            self.store.save()
-            with self._stats_lock:
-                self.stats["saves"] += 1
+            self._save_store()
             try:
                 os.unlink(self.socket_path)
             except OSError:
                 pass
+
+    def _save_store(self) -> None:
+        """Persist the store, degrading a failed save to a counted stat —
+        persistence is best-effort, shutdown and job completion are not
+        allowed to crash on it."""
+        try:
+            self.store.save()
+        except StoreError:
+            with self._stats_lock:
+                self.stats["saves_failed"] += 1
+            return
+        with self._stats_lock:
+            self.stats["saves"] += 1
 
     def run(self) -> None:
         """Blocking entry point: serve until shutdown (the CLI's ``serve``
@@ -158,10 +250,18 @@ class VerificationServer:
                 if not line:
                     break
                 try:
-                    request = json.loads(line)
+                    try:
+                        request = json.loads(line)
+                    except ValueError as exc:
+                        raise ProtocolError(
+                            f"request is not valid JSON: {exc}") from None
                     response = await self._dispatch(request)
                 except asyncio.CancelledError:
                     raise
+                except ReproError as exc:
+                    response = self._error_response(exc)
+                    with self._stats_lock:
+                        self.stats["jobs_failed"] += 1
                 except Exception as exc:
                     response = {"ok": False, "error": str(exc)}
                     with self._stats_lock:
@@ -180,9 +280,25 @@ class VerificationServer:
                     BrokenPipeError):
                 pass
 
+    @staticmethod
+    def _error_response(exc: ReproError) -> Dict[str, object]:
+        """The structured ``ok: false`` reply for a taxonomy error."""
+        response: Dict[str, object] = {
+            "ok": False, "error": str(exc),
+            "error_kind": exc.kind, "retryable": exc.retryable,
+        }
+        if exc.site:
+            response["site"] = exc.site
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            response["retry_after"] = retry_after
+        return response
+
     async def _dispatch(self, request: object) -> Dict[str, object]:
+        if _SERVER_HANDLE.armed:
+            _SERVER_HANDLE.fire()
         if not isinstance(request, dict):
-            raise ValueError("request must be a JSON object")
+            raise ProtocolError("request must be a JSON object")
         op = request.get("op", "verify")
         if op == "ping":
             return {"ok": True, "op": "ping"}
@@ -190,6 +306,8 @@ class VerificationServer:
             with self._stats_lock:
                 snapshot = dict(self.stats)
             snapshot.update(ok=True, op="stats",
+                            active_jobs=self._active_jobs,
+                            max_pending=self.max_pending,
                             primed_entries=self.primed_entries,
                             store_records=len(self.store),
                             memo_count=self.store.memo_count,
@@ -201,36 +319,57 @@ class VerificationServer:
             return {"ok": True, "op": "shutdown"}
         if op == "verify":
             return await self._submit(request)
-        raise ValueError(f"unknown op {op!r}")
+        raise ProtocolError(f"unknown op {op!r}")
 
     # ----------------------------------------------------------- job intake
     def _resolve_job(self, request: Dict[str, object]) -> Dict[str, object]:
         """Normalize a verify request: resolve the workload to source text
         and fill every default, so the dedupe key hashes semantics, not
-        spelling."""
+        spelling.  Every malformed field raises :class:`ProtocolError`
+        (answered as a structured ``error_kind="protocol"`` response) —
+        client input must never take the server down."""
         source = request.get("source")
         label = request.get("workload")
         default_bytes = 4
         if label is not None:
             if source is not None:
-                raise ValueError("give 'workload' or 'source', not both")
-            workload = get_workload(str(label))
+                raise ProtocolError("give 'workload' or 'source', not both")
+            try:
+                workload = get_workload(str(label))
+            except (KeyError, ValueError) as exc:
+                raise ProtocolError(str(exc)) from None
             source = workload.source
             default_bytes = workload.default_input_bytes
         elif source is None:
-            raise ValueError("a verify job needs 'workload' or 'source'")
+            raise ProtocolError("a verify job needs 'workload' or 'source'")
         elif not isinstance(source, str):
-            raise ValueError("'source' must be MiniC program text")
-        level = parse_opt_level(str(request.get("level", "-OVERIFY")))
+            raise ProtocolError("'source' must be MiniC program text")
+        try:
+            level = parse_opt_level(str(request.get("level", "-OVERIFY")))
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        timeout = _field_float(request, "timeout", 60.0)
+        deadline = None
+        if request.get("deadline") is not None:
+            deadline = _field_float(request, "deadline", 0.0)
+            if deadline <= 0.0:
+                raise ProtocolError(
+                    f"'deadline' must be > 0, got {deadline:g}")
+            # Cooperative leg: the engine's own wall-clock budget is
+            # capped to the deadline, so a healthy job terminates itself
+            # (termination_reason="timeout") well before the backstop.
+            timeout = min(timeout, deadline)
         verification = VerificationRequest(
-            symbolic_input_bytes=int(request.get("input_bytes",
-                                                 default_bytes)),
-            timeout_seconds=float(request.get("timeout", 60.0)),
-            max_instructions=int(request.get("max_instructions", 5_000_000)),
+            symbolic_input_bytes=_field_int(request, "input_bytes",
+                                            default_bytes, minimum=1),
+            timeout_seconds=timeout,
+            max_instructions=_field_int(request, "max_instructions",
+                                        5_000_000, minimum=1),
             entry=str(request.get("entry", "main")),
         )
         return {"source": source, "label": label or "(inline source)",
-                "level": level, "request": verification}
+                "level": level, "request": verification,
+                "deadline": deadline}
 
     def _job_key(self, job: Dict[str, object]) -> str:
         request = job["request"]
@@ -246,23 +385,59 @@ class VerificationServer:
         return hashlib.sha256(identity.encode("utf-8")).hexdigest()
 
     async def _submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        if self._draining:
+            return {"ok": False, "op": "verify",
+                    "error": "server is shutting down",
+                    "error_kind": "shutting-down", "retryable": False,
+                    "id": request.get("id")}
         job = self._resolve_job(request)
+        deadline = job.pop("deadline")
         key = self._job_key(job)
         existing = self._inflight.get(key)
         if existing is not None:
             with self._stats_lock:
                 self.stats["jobs_deduped"] += 1
-            response = dict(await asyncio.shield(existing))
+            response = await self._await_job(existing, deadline)
             response["deduped"] = True
             response["id"] = request.get("id")
             return response
+        if self._active_jobs >= self.max_pending:
+            # Backpressure: a *distinct* job needs a slot (duplicates ride
+            # the existing job above).  Reject with a retry hint instead
+            # of queueing unboundedly behind a saturated pool.
+            with self._stats_lock:
+                self.stats["jobs_rejected"] += 1
+            return {"ok": False, "op": "verify",
+                    "error": f"server at capacity "
+                             f"({self._active_jobs} jobs in flight)",
+                    "error_kind": "backpressure", "retryable": True,
+                    "retry_after": 0.5, "id": request.get("id")}
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
         self._inflight[key] = future
+        self._active_jobs += 1
+        runner = loop.create_task(self._run_and_publish(key, job, future))
+        self._runners.add(runner)
+        runner.add_done_callback(self._runners.discard)
+        response = await self._await_job(future, deadline)
+        response["id"] = request.get("id")
+        return response
+
+    async def _run_and_publish(self, key: str, job: Dict[str, object],
+                               future: "asyncio.Future") -> None:
+        """Run one distinct job on the pool and publish its response to
+        every waiter.  Runs as its own task so a waiter abandoning the
+        job (deadline, disconnect) never cancels the job itself — the
+        result is still memoized and handed to other waiters."""
         try:
             try:
-                response = await loop.run_in_executor(
+                response = await asyncio.get_running_loop().run_in_executor(
                     self._pool, self._run_job, job)
+            except ReproError as exc:
+                response = self._error_response(exc)
+                response["op"] = "verify"
+                with self._stats_lock:
+                    self.stats["jobs_failed"] += 1
             except Exception as exc:
                 response = {"ok": False, "op": "verify", "error": str(exc)}
                 with self._stats_lock:
@@ -271,11 +446,28 @@ class VerificationServer:
                 future.set_result(response)
         finally:
             self._inflight.pop(key, None)
+            self._active_jobs -= 1
             if not future.done():
                 future.cancel()
-        response = dict(response)
-        response["id"] = request.get("id")
-        return response
+
+    async def _await_job(self, future: "asyncio.Future",
+                         deadline: Optional[float]) -> Dict[str, object]:
+        """Wait for a job's published response; with a deadline, stop
+        waiting ``DEADLINE_GRACE`` past it and answer
+        ``error_kind="deadline"`` (the job keeps running and is still
+        memoized — only this waiter gives up)."""
+        if deadline is None:
+            return dict(await asyncio.shield(future))
+        try:
+            return dict(await asyncio.wait_for(asyncio.shield(future),
+                                               deadline + DEADLINE_GRACE))
+        except asyncio.TimeoutError:
+            with self._stats_lock:
+                self.stats["jobs_deadline_expired"] += 1
+            response = self._error_response(DeadlineExceeded(
+                f"job exceeded its {deadline:g}s deadline"))
+            response["op"] = "verify"
+            return response
 
     # ------------------------------------------------------------ job body
     def _run_job(self, job: Dict[str, object]) -> Dict[str, object]:
@@ -316,6 +508,8 @@ class VerificationServer:
             "errors": outcome.errors,
             "instructions": outcome.instructions,
             "timed_out": outcome.timed_out,
+            "engine_errors": outcome.engine_errors,
+            "termination_reason": outcome.termination_reason,
             "bug_signatures": sorted(list(signature) for signature
                                      in outcome.bug_signatures),
             "verify_seconds": outcome.seconds,
@@ -332,17 +526,18 @@ class VerificationServer:
             if self._jobs_since_save < self.save_every:
                 return
             self._jobs_since_save = 0
-        self.store.save()
-        with self._stats_lock:
-            self.stats["saves"] += 1
+        self._save_store()
 
 
 def serve(socket_path: object, store_path: object = None,
           backend: str = "symex", pool_size: int = 2,
-          save_every: int = 1) -> None:
+          save_every: int = 1, max_pending: int = 0,
+          drain_seconds: float = 30.0) -> None:
     """Convenience blocking runner (``python -m repro serve``)."""
     VerificationServer(socket_path, store_path=store_path, backend=backend,
-                       pool_size=pool_size, save_every=save_every).run()
+                       pool_size=pool_size, save_every=save_every,
+                       max_pending=max_pending,
+                       drain_seconds=drain_seconds).run()
 
 
 __all__ = ["CACHE_STRIPES", "VerificationServer", "serve"]

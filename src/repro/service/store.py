@@ -44,6 +44,7 @@ from dataclasses import fields
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from ..faults import StoreError, site as _fault_site
 from ..ir import Module
 from ..ir.printer import print_module
 from ..symex.executor import (
@@ -57,6 +58,13 @@ from ..verification import VerificationOutcome, VerificationRequest
 
 FORMAT_NAME = "repro-solver-store"
 FORMAT_VERSION = 1
+
+#: Fault sites around store persistence (``docs/robustness.md``).
+#: ``store.write`` fires between the temp-file write and the atomic
+#: rename — the torn-write window the save path must survive;
+#: ``store.load`` fires at read time, degrading the run to a cold start.
+_STORE_WRITE = _fault_site("store.write", StoreError)
+_STORE_LOAD = _fault_site("store.load", StoreError)
 
 
 class WireError(ValueError):
@@ -202,6 +210,8 @@ def outcome_to_memo(outcome: VerificationOutcome) -> Dict[str, object]:
         "paths": outcome.paths,
         "errors": outcome.errors,
         "timed_out": outcome.timed_out,
+        "engine_errors": outcome.engine_errors,
+        "termination_reason": outcome.termination_reason,
         "return_value": outcome.return_value,
         "bug_signatures": sorted(list(signature)
                                  for signature in outcome.bug_signatures),
@@ -223,6 +233,7 @@ def outcome_to_memo(outcome: VerificationOutcome) -> Dict[str, object]:
                       None if bug.test_input is None
                       else bug.test_input.hex()]
                      for bug in detail.bugs],
+            "diagnostics": list(detail.diagnostics),
         }
     return payload
 
@@ -268,7 +279,9 @@ def memo_to_outcome(payload: Dict[str, object],
                 for kind, message, function, block, test_input
                 in report["bugs"]]
             detail = SymexReport(stats=stats, solver_stats=solver_stats,
-                                 paths=paths, bugs=bugs)
+                                 paths=paths, bugs=bugs,
+                                 diagnostics=list(
+                                     report.get("diagnostics", [])))
         return VerificationOutcome(
             backend=backend,
             seconds=0.0,
@@ -276,6 +289,8 @@ def memo_to_outcome(payload: Dict[str, object],
             paths=int(payload["paths"]),
             errors=int(payload["errors"]),
             timed_out=bool(payload["timed_out"]),
+            engine_errors=int(payload.get("engine_errors", 0)),
+            termination_reason=str(payload.get("termination_reason", "")),
             bug_signatures=frozenset(
                 tuple(signature)
                 for signature in payload["bug_signatures"]),
@@ -306,6 +321,10 @@ class SolverKnowledgeStore:
         self._lock = threading.Lock()
         #: Why the last load came up cold ("" = it didn't).
         self.load_error = ""
+        #: Where a corrupt store file was moved aside ("" = never).  The
+        #: quarantined original is kept for post-mortems; the service
+        #: continues cold instead of crash-looping on the same bad bytes.
+        self.quarantined = ""
         self._reset()
 
     def _reset(self) -> None:
@@ -335,6 +354,14 @@ class SolverKnowledgeStore:
             self.load_error = ""
             if self.path is None:
                 return False
+            if _STORE_LOAD.armed:
+                try:
+                    _STORE_LOAD.fire()
+                except StoreError as exc:
+                    # An injected read failure: degrade to a cold start,
+                    # file untouched (it is not corrupt, just unreadable).
+                    self.load_error = f"fault: {exc}"
+                    return False
             try:
                 text = self.path.read_text(encoding="utf-8")
             except FileNotFoundError:
@@ -348,8 +375,26 @@ class SolverKnowledgeStore:
             except Exception as exc:
                 self._reset()
                 self.load_error = f"corrupt: {exc}"
+                self.quarantined = self._quarantine()
                 return False
             return len(self) > 0
+
+    def _quarantine(self) -> str:
+        """Move a corrupt store file aside to ``<path>.corrupt-<n>`` so
+        the next save starts clean instead of re-reading (and re-merging
+        with) bad bytes forever.  Returns the quarantine path, or ``""``
+        when the rename itself failed (read-only filesystem, races) — the
+        store still degrades to cold either way."""
+        for n in range(1, 1000):
+            target = Path(f"{self.path}.corrupt-{n}")
+            if target.exists():
+                continue
+            try:
+                os.replace(self.path, target)
+            except OSError:
+                return ""
+            return str(target)
+        return ""
 
     def _parse(self, text: str) -> None:
         lines = text.splitlines()
@@ -431,21 +476,34 @@ class SolverKnowledgeStore:
                     count += 1
             lines.append(_canonical_json({"kind": "end", "records": count}))
             payload = "\n".join(lines) + "\n"
-            directory = self.path.parent
-            directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(directory), prefix=self.path.name + ".", suffix=".tmp")
+            try:
+                directory = self.path.parent
+                directory.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=str(directory), prefix=self.path.name + ".",
+                    suffix=".tmp")
+            except OSError as exc:
+                raise StoreError(f"store save failed: {exc}",
+                                 site="store.write") from exc
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     handle.write(payload)
                     handle.flush()
                     os.fsync(handle.fileno())
+                if _STORE_WRITE.armed:
+                    # The torn-write window: the temp file is complete but
+                    # the rename has not happened.  An injected kill here
+                    # must leave the published file byte-identical.
+                    _STORE_WRITE.fire()
                 os.replace(tmp_name, self.path)
-            except BaseException:
+            except BaseException as exc:
                 try:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
+                if isinstance(exc, OSError):
+                    raise StoreError(f"store save failed: {exc}",
+                                     site="store.write") from exc
                 raise
 
     # ------------------------------------------------- cache <-> store

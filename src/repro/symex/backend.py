@@ -7,8 +7,10 @@ executor internals.  The flags mirror
 :class:`~repro.symex.solver.SolverConfig`: ``ubtree``,
 ``rewrite-equalities``, ``branch-and-prune``, ``seeded-splits`` and
 ``minimize-cores``, each accepting ``on``/``off`` (also
-``true``/``false``/``1``/``0``), plus the integer ``ubtree-capacity``
-(0 = unbounded).  ``workers=N`` with ``N > 1`` explores through the
+``true``/``false``/``1``/``0``), plus the integers ``ubtree-capacity``
+(0 = unbounded) and ``query-deadline-ms`` (per-solver-query wall-clock
+deadline, 0 = none — see ``docs/robustness.md``).  ``workers=N`` with
+``N > 1`` explores through the
 :class:`~repro.symex.parallel.ParallelExecutor` worker pool
 (``processes=on`` selects its process-pool escape hatch).
 
@@ -32,6 +34,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..faults import StoreError
 from ..ir import Module
 from ..verification import (
     BackendSpecError, VerificationBackend, VerificationOutcome,
@@ -79,6 +82,7 @@ class SymexBackend(VerificationBackend):
                  seeded_splits: object = True,
                  ubtree_capacity: object = 0,
                  minimize_cores: object = True,
+                 query_deadline_ms: object = 0,
                  store: object = "",
                  caches: Optional[SharedSolverCaches] = None) -> None:
         make_searcher(searcher)  # validate the name eagerly
@@ -95,6 +99,8 @@ class SymexBackend(VerificationBackend):
             ubtree_capacity=_parse_count("ubtree-capacity", ubtree_capacity,
                                          0),
             minimize_cores=_parse_flag("minimize-cores", minimize_cores),
+            query_deadline_seconds=_parse_count(
+                "query-deadline-ms", query_deadline_ms, 0) / 1000.0,
         )
         if store is not None and not isinstance(store, str):
             raise BackendSpecError(
@@ -129,6 +135,9 @@ class SymexBackend(VerificationBackend):
                 parts.append(f"{key}=off")
         if config.ubtree_capacity:
             parts.append(f"ubtree-capacity={config.ubtree_capacity}")
+        if config.query_deadline_seconds:
+            parts.append(f"query-deadline-ms="
+                         f"{round(config.query_deadline_seconds * 1000)}")
         if parts:
             return f"symex<{','.join(parts)}>"
         return "symex"
@@ -197,6 +206,8 @@ class SymexBackend(VerificationBackend):
             paths=report.stats.total_paths,
             errors=report.stats.paths_errored,
             timed_out=report.stats.timed_out,
+            engine_errors=report.stats.engine_errors,
+            termination_reason=report.stats.termination_reason,
             bug_signatures=frozenset(report.bug_signatures()),
             solver_stats=report.solver_stats.as_dict(),
             detail=report,
@@ -206,7 +217,12 @@ class SymexBackend(VerificationBackend):
             if caches is not None:
                 store.absorb(caches)
             store.memo_record(memo_key, outcome_to_memo(outcome))
-            store.save()
+            try:
+                store.save()
+            except StoreError:
+                # Persistence is best-effort: the verification stands,
+                # the next successful save will carry the knowledge.
+                pass
         return outcome
 
 

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..faults import EngineError, WorkerCrash, site as _fault_site
 from ..interp.errors import ErrorKind, ProgramError
 from ..ir import (
     AllocaInst, Argument, BasicBlock, BinaryInst, BranchInst, CallInst,
@@ -34,6 +35,11 @@ from .solver import Solver, SolverStats
 from .state import ExecutionState, StackFrame, StateStatus
 
 POINTER_WIDTH = 64
+
+#: Fault site hit once per budget stride of the stepping loop
+#: (``docs/robustness.md``).  Its faults — like any engine/solver
+#: exception on a path — are contained as ``engine-error`` path outcomes.
+_ENGINE_STEP = _fault_site("engine.step", EngineError)
 
 _BINARY_OPS = {
     Opcode.ADD: ExprOp.ADD, Opcode.SUB: ExprOp.SUB, Opcode.MUL: ExprOp.MUL,
@@ -108,7 +114,8 @@ class ExplorationBudget:
         "timeout"), or None while in budget."""
         paths = instructions = forks = 0
         for stats in self._views:
-            paths += stats.paths_completed + stats.paths_errored
+            paths += stats.paths_completed + stats.paths_errored \
+                + stats.engine_errors
             instructions += stats.instructions_interpreted
             forks += stats.forks
         limits = self.limits
@@ -169,6 +176,14 @@ class SymexStats:
     max_live_states: int = 0
     wall_seconds: float = 0.0
     timed_out: bool = False
+    #: Paths abandoned because the *engine* (not the program under test)
+    #: failed on them — a solver/interpreter exception contained by
+    #: :meth:`SymbolicExecutor._run_state`.  Not part of ``total_paths``:
+    #: an engine-error path was neither completed nor found buggy.
+    engine_errors: int = 0
+    #: Which budget limit ended the run ("paths", "instructions", "forks",
+    #: "timeout", or "worker-loss"); empty for a complete exploration.
+    termination_reason: str = ""
 
     @property
     def total_paths(self) -> int:
@@ -191,6 +206,9 @@ class SymexStats:
                                    other.max_live_states)
         self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
         self.timed_out |= other.timed_out
+        self.engine_errors += other.engine_errors
+        if not self.termination_reason:
+            self.termination_reason = other.termination_reason
 
 
 @dataclass
@@ -201,6 +219,10 @@ class SymexReport:
     solver_stats: SolverStats
     paths: List[PathRecord] = field(default_factory=list)
     bugs: List[BugReport] = field(default_factory=list)
+    #: One line per contained engine failure (fault site + cause); empty
+    #: on a healthy run.  Merged across workers as a sorted set, so the
+    #: content carries no state ids or other schedule-dependent data.
+    diagnostics: List[str] = field(default_factory=list)
 
     def bug_signatures(self) -> set:
         return {bug.signature() for bug in self.bugs}
@@ -368,14 +390,50 @@ class SymbolicExecutor:
         reason = self._budget.exhausted()
         if reason is None:
             return False
+        if not self.stats.termination_reason:
+            self.stats.termination_reason = reason
         if reason != "paths":
             self.stats.timed_out = True
         return True
 
     # ------------------------------------------------------------- stepping
     def _run_state(self, state: ExecutionState) -> None:
-        """Run ``state`` until it forks (pushing both sides), finishes, or
-        hits an error."""
+        """Run ``state`` until it forks, finishes, or hits an error —
+        containing engine failures to the path they happened on.
+
+        An exception out of the stepping core (a solver or interpreter
+        defect, or an injected ``engine.step``/``solver.check`` fault) is
+        an *engine* failure, not a program bug: the path is recorded as an
+        ``engine-error`` outcome with a one-line diagnosis and exploration
+        continues with the next state.  :class:`~repro.faults.WorkerCrash`
+        is not contained — the parallel executor's retry-once recovery
+        owns it — and neither are KeyboardInterrupt/SystemExit."""
+        try:
+            self._step_state(state)
+        except (KeyboardInterrupt, SystemExit, WorkerCrash):
+            raise
+        except Exception as exc:
+            self._record_engine_error(state, exc)
+
+    def _record_engine_error(self, state: ExecutionState,
+                             exc: Exception) -> None:
+        state.status = StateStatus.ENGINE_ERROR
+        self.stats.engine_errors += 1
+        site = getattr(exc, "site", None) or "engine"
+        cause = f"{type(exc).__name__}: {exc}".splitlines()[0]
+        self.report.diagnostics.append(f"engine-error at {site}: {cause}")
+        # No test input: the path died inside the engine, so the solver
+        # may be the very thing that failed — don't query it again here.
+        self.report.paths.append(PathRecord(
+            state_id=state.state_id,
+            status=StateStatus.ENGINE_ERROR,
+            constraint_count=len(state.constraints),
+            instructions=state.instructions_executed,
+        ))
+
+    def _step_state(self, state: ExecutionState) -> None:
+        """The stepping core: run ``state`` until it forks (pushing both
+        sides), finishes, or hits an error."""
         # Every caller checks the budget right before handing us a state,
         # so the first in-loop check waits a full stride.
         budget_countdown = BUDGET_CHECK_STRIDE
@@ -383,6 +441,8 @@ class SymbolicExecutor:
             budget_countdown -= 1
             if budget_countdown <= 0:
                 budget_countdown = BUDGET_CHECK_STRIDE
+                if _ENGINE_STEP.armed:
+                    _ENGINE_STEP.fire()
                 if self._out_of_budget():
                     state.status = StateStatus.TERMINATED
                     self.stats.paths_terminated += 1
@@ -852,6 +912,10 @@ class SymbolicExecutor:
                      for name in self._input_variables)
 
     def _record_completed(self, state: ExecutionState) -> None:
+        # The model query runs before the counter bump: if it raises, the
+        # containment in _run_state records one engine-error path without
+        # leaving a phantom completed count behind.
+        test_input = self._test_input_for(state)
         self.stats.paths_completed += 1
         return_value: Optional[int] = None
         if state.return_value is not None and state.return_value.is_constant:
@@ -861,15 +925,15 @@ class SymbolicExecutor:
             status=StateStatus.COMPLETED,
             constraint_count=len(state.constraints),
             instructions=state.instructions_executed,
-            test_input=self._test_input_for(state),
+            test_input=test_input,
             return_value=return_value,
         ))
 
     def _record_error(self, state: ExecutionState, error: ProgramError) -> None:
         state.status = StateStatus.ERROR
         state.error = error
-        self.stats.paths_errored += 1
         test_input = self._test_input_for(state)
+        self.stats.paths_errored += 1
         self.report.paths.append(PathRecord(
             state_id=state.state_id,
             status=StateStatus.ERROR,

@@ -54,6 +54,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults import WorkerCrash, site as _fault_site
 from ..ir import Module
 from .executor import (
     BugReport, ExplorationBudget, PathRecord, SymbolicExecutor, SymexLimits,
@@ -67,6 +68,11 @@ from .state import ExecutionState, StateStatus
 #: farming subtrees out (more seeds -> better load balance, longer
 #: sequential warm-up).
 PROCESS_SEEDS_PER_WORKER = 4
+
+#: Fault site hit once per frontier pop, before the state is stepped;
+#: raises :class:`~repro.faults.WorkerCrash`, handled by the pool's
+#: retry-once recovery (``docs/robustness.md``).
+_WORKER_RUN = _fault_site("worker.run", WorkerCrash)
 
 
 class _SwitchIntervalGuard:
@@ -156,6 +162,10 @@ def _merge_reports(stats: SymexStats, solver_stats: SolverStats,
         by_signature.setdefault(bug.signature(), bug)
     merged.bugs = [by_signature[signature]
                    for signature in sorted(by_signature)]
+    diagnostics: List[str] = []
+    for report in reports:
+        diagnostics.extend(report.diagnostics)
+    merged.diagnostics = sorted(set(diagnostics))
     return merged
 
 
@@ -234,6 +244,10 @@ class ParallelExecutor:
         frontier.add(initial, 0)
 
         failures: List[BaseException] = []
+        #: Retry-once worker recovery, enabled only while the worker.run
+        #: fault site is armed: an unarmed run pays nothing (no snapshot
+        #: fork per pop) and behaves exactly as before.
+        recovery = _WORKER_RUN.armed
 
         def worker_loop(index: int) -> None:
             engine = engines[index]
@@ -241,18 +255,43 @@ class ParallelExecutor:
                 state = frontier.pop(index)
                 if state is None:
                     return
+                backup = None
                 try:
-                    if engine._out_of_budget():
-                        state.status = StateStatus.TERMINATED
-                        engine.stats.paths_terminated += 1
-                    else:
-                        # A stolen state books its equality rewrites to the
-                        # thief's counters — never another thread's.
-                        state.attach_stats(engine.solver.stats)
-                        engine._run_state(state)
-                except BaseException as exc:  # noqa: BLE001 - re-raised
-                    failures.append(exc)
-                    frontier.drain()
+                    try:
+                        if engine._out_of_budget():
+                            state.status = StateStatus.TERMINATED
+                            engine.stats.paths_terminated += 1
+                        else:
+                            # A stolen state books its equality rewrites to
+                            # the thief's counters — never another thread's.
+                            state.attach_stats(engine.solver.stats)
+                            if recovery:
+                                backup = state.fork()
+                            if _WORKER_RUN.armed:
+                                _WORKER_RUN.fire()
+                            engine._run_state(state)
+                    except WorkerCrash as crash:
+                        # The worker is lost, not the run.  The crash fires
+                        # *before* the state is stepped (mid-state failures
+                        # are engine-error containment, not crashes), so
+                        # the pristine snapshot can be re-queued for a
+                        # sibling without double-counting any path work.
+                        if backup is not None and state.retries < 1:
+                            backup.retries = state.retries + 1
+                            frontier.add(backup, index)
+                        else:
+                            state.status = StateStatus.TERMINATED
+                            engine.stats.paths_terminated += 1
+                            engine.report.diagnostics.append(
+                                f"worker crash at "
+                                f"{crash.site or 'worker.run'} "
+                                f"not retried: {crash}")
+                        frontier.retire(index)
+                        return
+                    except BaseException as exc:  # noqa: BLE001 - re-raised
+                        failures.append(exc)
+                        frontier.drain()
+                        return
                 finally:
                     frontier.task_done(index)
 
@@ -270,9 +309,19 @@ class ParallelExecutor:
         if failures:
             raise failures[0]
 
+        # With every worker retired (crash-path degradation), pending
+        # states have nobody left to run them: account each as terminated,
+        # like budget-exhaustion leftovers.
+        leftovers = frontier.drain() if frontier.live_workers == 0 else []
+        for state in leftovers:
+            state.status = StateStatus.TERMINATED
+            stats_list[0].paths_terminated += 1
+
         merged_stats = SymexStats(states_created=0)
         for stats in stats_list:
             merged_stats.merge(stats)
+        if leftovers and not merged_stats.termination_reason:
+            merged_stats.termination_reason = "worker-loss"
         merged_stats.max_live_states = max(merged_stats.max_live_states,
                                            frontier.high_water)
         merged_stats.wall_seconds = time.perf_counter() - budget.start_time

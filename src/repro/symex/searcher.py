@@ -137,6 +137,10 @@ class WorkStealingFrontier:
         self._cond = threading.Condition(threading.Lock())
         self._pending = 0
         self._active = 0
+        #: Workers still able to pop; a crashed worker retires itself so
+        #: the pool degrades (blocked siblings re-check termination)
+        #: instead of waiting on forks that can never come.
+        self._live = workers
         #: Peak of pending + in-flight states (the parallel analogue of
         #: the sequential ``max_live_states`` gauge).
         self.high_water = 0
@@ -194,6 +198,18 @@ class WorkStealingFrontier:
             self._active -= 1
             if self._active == 0 and self._pending == 0:
                 self._cond.notify_all()
+
+    @property
+    def live_workers(self) -> int:
+        return self._live
+
+    def retire(self, worker: int = 0) -> None:
+        """A worker leaving the pool for good (the crash path): it will
+        never pop again.  Wakes every blocked sibling so the termination
+        condition is re-evaluated against the shrunken pool."""
+        with self._cond:
+            self._live -= 1
+            self._cond.notify_all()
 
     def drain(self) -> List[ExecutionState]:
         """Remove and return every pending state, unblocking all workers.

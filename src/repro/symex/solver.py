@@ -52,9 +52,13 @@ import time
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..faults import SolverError, site as _fault_site
 from .expr import Expr, ExprOp, bounded_interval, mask, unsigned_interval
 from .simplify import const, not_expr
 from .ubtree import UBTree
+
+#: Fault site covering every top-level solver query (``docs/robustness.md``).
+_SOLVER_CHECK = _fault_site("solver.check", SolverError)
 
 #: How many recent models the model-reuse cache keeps (LRU) when the UBTree
 #: index is disabled.
@@ -109,6 +113,12 @@ class SolverConfig:
     #: before inserting them into the UBTree UNSAT index — smaller cores
     #: are subsets of more future queries, so each one subsumes more.
     minimize_cores: bool = True
+    #: Per-query wall-clock deadline in seconds (0 = none).  An expiring
+    #: query is interrupted at its next budget checkpoint (the
+    #: branch-and-prune split loop / the CSP assignment loop) and answers
+    #: the same conservative "maybe satisfiable" an exhausted assignment
+    #: budget does, counted in :attr:`SolverStats.query_deadlines`.
+    query_deadline_seconds: float = 0.0
 
 
 @dataclass
@@ -149,6 +159,9 @@ class SolverStats:
     #: solved in this run.  UBTree containment hits on primed sets are
     #: counted as ordinary ``ubtree_hits``.
     store_hits: int = 0
+    #: Queries interrupted by :attr:`SolverConfig.query_deadline_seconds`
+    #: (each also counts as an ``unknown_results`` entry).
+    query_deadlines: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return asdict(self)
@@ -366,6 +379,15 @@ class Solver:
         #: Worker-local: it is a memo (cheap to recompute), and keeping it
         #: off the stripes removes it from every lock footprint.
         self._unary_sat: Dict[Tuple[Expr, int], FrozenSet[int]] = {}
+        #: Wall-clock instant the running query must stop at (0.0 = no
+        #: deadline).  Set on entry to each top-level query when
+        #: :attr:`SolverConfig.query_deadline_seconds` is enabled.
+        self._deadline = 0.0
+
+    def _begin_query(self, start: float) -> None:
+        """Arm the per-query deadline (a no-op when the feature is off)."""
+        if self.config.query_deadline_seconds > 0.0:
+            self._deadline = start + self.config.query_deadline_seconds
 
     # The pre-SolverConfig attribute spellings, kept as read-only views so
     # the flag state has a single source of truth (``self.config``).
@@ -388,6 +410,9 @@ class Solver:
         """Is the conjunction of ``constraints`` satisfiable?"""
         start = time.perf_counter()
         self.stats.queries += 1
+        self._begin_query(start)
+        if _SOLVER_CHECK.armed:
+            _SOLVER_CHECK.fire()
         try:
             return self._check(list(constraints))
         finally:
@@ -473,6 +498,9 @@ class Solver:
         are known variable-disjoint (a state's constraint partition)."""
         start = time.perf_counter()
         self.stats.queries += 1
+        self._begin_query(start)
+        if _SOLVER_CHECK.armed:
+            _SOLVER_CHECK.fire()
         try:
             return self._check_partition(varfree, groups, extras)
         finally:
@@ -610,6 +638,9 @@ class Solver:
         merely duplicates the search)."""
         start = time.perf_counter()
         self.stats.queries += 1
+        self._begin_query(start)
+        if _SOLVER_CHECK.armed:
+            _SOLVER_CHECK.fire()
         try:
             for constraint in varfree:
                 if constraint.is_constant and constraint.value == 0:
@@ -1004,6 +1035,15 @@ class Solver:
 
         assignment: Dict[str, int] = {}
         budget = [self.max_assignments]
+        deadline = self._deadline
+        deadline_hit = [False]
+        if deadline and time.perf_counter() > deadline:
+            # Already past deadline before searching (queueing delays, a
+            # slow group earlier in the same query): answer conservatively
+            # now instead of starting a search we must abandon.
+            self.stats.unknown_results += 1
+            self.stats.query_deadlines += 1
+            return SolverResult(True, model=None, exact=False)
 
         def backtrack(index: int) -> Optional[Dict[str, int]]:
             if index == len(order):
@@ -1016,6 +1056,13 @@ class Solver:
                 if budget[0] <= 0:
                     return None
                 budget[0] -= 1
+                if deadline and (budget[0] & 0xFF) == 0 and \
+                        time.perf_counter() > deadline:
+                    # Deadline expiry reuses the budget-exhaustion exit:
+                    # same conservative "maybe satisfiable" downstream.
+                    deadline_hit[0] = True
+                    budget[0] = 0
+                    return None
                 self.stats.assignments_tried += 1
                 assignment[name] = value
                 if all(c.evaluate(assignment) == 1 for c in relevant):
@@ -1032,6 +1079,8 @@ class Solver:
             # Budget exhausted, or the candidate sets were sparse and thus
             # not exhaustive: be conservative (never prune a feasible path).
             self.stats.unknown_results += 1
+            if deadline_hit[0]:
+                self.stats.query_deadlines += 1
             return SolverResult(True, model=None, exact=False)
         return SolverResult(False)
 
@@ -1067,6 +1116,8 @@ class Solver:
         budget = [self.max_assignments]
         splits = [BNP_MAX_SPLITS]
         exhausted = [False]
+        deadline = self._deadline
+        deadline_hit = [False]
         split_seeds: List[int] = []
         if self.config.seeded_splits:
             # c ends the satisfying band of "x <= c"/"x == c"; c - 1 ends
@@ -1114,6 +1165,13 @@ class Solver:
 
         def search(current: Dict[str, Tuple[int, int]]
                    ) -> Optional[Dict[str, int]]:
+            if deadline and time.perf_counter() > deadline:
+                # One clock read per box, only when a deadline is armed:
+                # the split loop is the interruption point the per-query
+                # deadline rides on.
+                exhausted[0] = True
+                deadline_hit[0] = True
+                return None
             undecided: List[Expr] = []
             for constraint in constraints:
                 low, high = bounded_interval(constraint, current)
@@ -1150,6 +1208,8 @@ class Solver:
             return SolverResult(True, model=model)
         if exhausted[0]:
             self.stats.unknown_results += 1
+            if deadline_hit[0]:
+                self.stats.query_deadlines += 1
             return SolverResult(True, model=None, exact=False)
         return SolverResult(False)
 

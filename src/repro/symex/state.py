@@ -59,6 +59,7 @@ class StateStatus(enum.Enum):
     COMPLETED = "completed"     # returned from the entry function
     ERROR = "error"             # a bug was detected on this path
     TERMINATED = "terminated"   # killed by a resource limit
+    ENGINE_ERROR = "engine-error"  # the engine (not the program) failed
 
 
 @dataclass
@@ -157,6 +158,10 @@ class ExecutionState:
         #: Recorded only by executors built with ``record_traces=True``
         #: (the process-mode bootstrap); everywhere else it stays ``()``.
         self.trace: Tuple[int, ...] = ()
+        #: Times a worker crashed while holding this state and a pristine
+        #: snapshot was re-queued (the parallel executor's retry-once
+        #: recovery, ``docs/robustness.md``).
+        self.retries = 0
 
     # ------------------------------------------------------------- frames
     @property
@@ -197,6 +202,7 @@ class ExecutionState:
         clone.instructions_executed = self.instructions_executed
         clone.depth = self.depth
         clone.trace = self.trace
+        clone.retries = self.retries
         self.forks += 1
         return clone
 

@@ -54,6 +54,13 @@ class VerificationOutcome:
     timed_out: bool
     bug_signatures: frozenset = frozenset()
     return_value: Optional[int] = None
+    #: Paths the engine abandoned because *it* failed (contained
+    #: solver/interpreter exceptions), not because the program was buggy.
+    #: Zero on a healthy run; see ``docs/robustness.md``.
+    engine_errors: int = 0
+    #: Which resource budget truncated the run ("paths", "instructions",
+    #: "forks", "timeout", "worker-loss"); empty when exploration finished.
+    termination_reason: str = ""
     #: Constraint-solver counters (queries, cache/model-cache hits,
     #: assignments tried, ...) for solver-backed engines; empty otherwise.
     solver_stats: Dict[str, float] = field(default_factory=dict)
