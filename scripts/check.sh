@@ -73,6 +73,17 @@ print(f"{len(pass_names())} passes: canonical round-trips, "
 PY
 
 echo
+echo "== differential fuzz smoke: fixed seed range + committed findings =="
+# A fixed, small seed range with the full oracle (solver matrix on): fast
+# enough for every push, real enough to catch an oracle or pass
+# regression.  The nightly CI leg runs a much larger budget with
+# --minimize (see .github/workflows/ci.yml and docs/fuzzing.md).
+fuzz_out="$(mktemp -d)"
+python -m repro fuzz --seeds 10 --out "$fuzz_out"
+python -m repro fuzz --check-workloads --out "$fuzz_out"
+rm -rf "$fuzz_out"
+
+echo
 echo "== parallel exploration smoke: workers=4 must match workers=1 =="
 python - <<'PY'
 from repro.pipelines import CompileOptions, OptLevel, compile_source

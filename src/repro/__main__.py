@@ -16,6 +16,12 @@ The ``serve`` subcommand runs the verification service front door
 (see ``docs/service.md``):
 
     python -m repro serve /tmp/verify.sock --store /tmp/knowledge.jsonl
+
+The ``fuzz`` subcommand runs the differential fuzzer
+(see ``docs/fuzzing.md``):
+
+    python -m repro fuzz --seeds 200 --jobs 4
+    python -m repro fuzz --seed 17 --minimize
 """
 
 from __future__ import annotations
@@ -202,6 +208,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from .fuzz.cli import fuzz_main
+        return fuzz_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 

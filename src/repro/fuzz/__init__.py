@@ -1,0 +1,37 @@
+"""Differential fuzzing for the whole compilation stack.
+
+The fuzzer closes the gap between the ~40 hand-written workloads and the
+space of programs the optimization levels must preserve: a seeded MiniC
+program :mod:`generator <repro.fuzz.generator>` produces well-defined
+random programs, the differential :mod:`oracle <repro.fuzz.oracle>`
+compiles each one at all five levels and cross-checks every backend and
+solver configuration against every other, and the
+:mod:`minimizer <repro.fuzz.minimize>` shrinks any divergence into a
+committed regression workload (see ``docs/fuzzing.md``).
+
+Drive it from the command line::
+
+    python -m repro fuzz --seeds 200 --jobs 4
+    python -m repro fuzz --seed 1234 --minimize
+
+Generation is deterministic from ``(seed, GeneratorConfig)`` alone, so a
+seed number in a CI log *is* the reproduction recipe.
+"""
+
+from .generator import GeneratorConfig, generate_program
+from .oracle import (
+    Divergence, OracleConfig, SeedOutcome, check_seed, check_source,
+)
+from .minimize import MinimizationResult, minimize_source
+
+__all__ = [
+    "Divergence",
+    "GeneratorConfig",
+    "MinimizationResult",
+    "OracleConfig",
+    "SeedOutcome",
+    "check_seed",
+    "check_source",
+    "generate_program",
+    "minimize_source",
+]

@@ -1,0 +1,619 @@
+"""Seeded random MiniC program generator.
+
+Programs are generated from a ``random.Random(seed)`` stream and a
+:class:`GeneratorConfig`; nothing else feeds the generator — no ``hash()``,
+no set/dict iteration over unordered collections, no ambient state — so the
+same ``(seed, config)`` pair produces a byte-identical program on every
+run, every platform, and every ``PYTHONHASHSEED``.
+
+The grammar is weighted to stress the newest compiler layers: short-circuit
+chains (branch-free ``&&``/``||`` lowering), equality chains and
+signed/unsigned comparisons at width boundaries (``algebraic-simplify``),
+redundant loads through locals, arrays, structs and pointers
+(``load-elim``/``sroa``), constant-foldable arithmetic (``sccp``), and
+division/modulo both guarded and unguarded (trap-semantics agreement
+between the backends).
+
+Every generated program is *well defined* under MiniC semantics:
+
+* all locals are initialized before use;
+* array/pointer accesses stay inside their objects (power-of-two sizes
+  with masked indices, or constant offsets);
+* loops are bounded by constant trip counts or by the NUL terminator the
+  harness appends to the input buffer;
+* helper calls form a DAG (no recursion);
+* arithmetic wraps, shifts are taken modulo the width, and division by
+  zero is a *defined runtime error* both engines must report identically —
+  the one deliberately reachable "bug" the oracle expects levels to agree
+  on.
+
+Concrete inputs fed to generated programs must be exactly
+``config.input_bytes`` long (see :meth:`GeneratorConfig.concrete_inputs`):
+the program indexes ``input[0..input_bytes-1]`` directly, which is only
+in-bounds for inputs of that length.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Sign-boundary and width-boundary constants, the values most likely to
+#: expose signed/unsigned predicate confusion in compare canonicalization.
+_BOUNDARY_CONSTANTS = (
+    0, 1, 2, 7, 9, 31, 63, 126, 127, 128, 129, 254, 255, 256,
+    32767, 32768, 65535, 65536,
+    2147483646, 2147483647, -1, -2, -127, -128, -129, -255, -32768,
+    -2147483647,
+)
+
+#: Integer types for scalar locals: (spelling, width, signed).
+_SCALAR_TYPES = (
+    ("int", 32, True),
+    ("unsigned int", 32, False),
+    ("char", 8, True),
+    ("unsigned char", 8, False),
+    ("short", 16, True),
+    ("unsigned short", 16, False),
+    ("long", 64, True),
+    ("unsigned long", 64, False),
+)
+
+#: vlibc character-classification functions (safe on any byte value).
+_CTYPE_FUNCTIONS = ("isspace", "isdigit", "isupper", "islower", "isalpha",
+                    "isalnum", "isprint", "ispunct", "toupper", "tolower")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Grammar knobs.  All fields participate in determinism: two equal
+    configs generate identical programs from equal seeds."""
+
+    #: Usable symbolic input bytes; the program indexes ``input[k]`` only
+    #: for ``k < input_bytes``.
+    input_bytes: int = 3
+    #: Helper functions besides ``main`` (called as a DAG, never recursive).
+    max_helpers: int = 2
+    #: Statements per generated block before nesting.
+    max_block_statements: int = 5
+    #: Maximum expression tree depth.
+    max_expr_depth: int = 3
+    #: Maximum constant loop trip count.
+    max_trip_count: int = 4
+    #: Maximum loop nesting depth per function.
+    max_loop_depth: int = 2
+    #: Probability weights (relative, not normalized).
+    w_if: int = 3
+    w_loop: int = 2
+    w_walker: int = 1
+    w_assign: int = 5
+    w_decl: int = 3
+    w_acc: int = 4
+    w_call: int = 2
+    #: Probability (in %) that a condition may read symbolic input —
+    #: the fork-rate knob: higher means more paths per program.
+    symbolic_condition_pct: int = 35
+    #: Allow unguarded division/modulo (reachable DIVISION_BY_ZERO traps).
+    allow_trapping_division: bool = True
+    #: Struct definitions + member accesses.
+    allow_structs: bool = True
+    #: Local arrays + pointer arithmetic into them.
+    allow_arrays: bool = True
+    #: vlibc calls (ctype functions, strlen, memset, ...).
+    allow_libc: bool = True
+
+    def describe(self) -> str:
+        """Canonical one-line rendering (part of the repro recipe)."""
+        parts = []
+        for name, value in self.__dict__.items():
+            parts.append(f"{name}={value}")
+        return ",".join(parts)
+
+    def concrete_inputs(self) -> List[bytes]:
+        """Deterministic concrete inputs of exactly ``input_bytes`` bytes
+        (the only length generated programs are in-bounds for)."""
+        n = self.input_bytes
+        inputs = [
+            bytes(n),                      # all zeroes: shortest walk
+            b"\x01" * n,                   # all ones
+            b"\xff" * n,                   # all 0xff: sign boundaries
+            b"\x80" * n,                   # sign bit set
+            b"a" * n,                      # alphabetic
+            b" " * n,                      # whitespace
+            bytes((i * 37 + 11) & 0xFF for i in range(n)),
+            bytes((0x7F + i) & 0xFF for i in range(n)),
+        ]
+        # Dedup preserving order (lengths are equal, contents may collide
+        # for tiny n).
+        seen = []
+        for item in inputs:
+            if item not in seen:
+                seen.append(item)
+        return seen
+
+
+@dataclass
+class _Var:
+    """A scalar local in scope."""
+
+    name: str
+    spelling: str
+    width: int
+    signed: bool
+
+
+@dataclass
+class _Array:
+    """A local array in scope: power-of-two count so indices can be
+    masked in-bounds."""
+
+    name: str
+    spelling: str  # element type spelling
+    count: int     # power of two
+    #: Name of a pointer local aimed at the array base (optional).
+    pointer: Optional[str] = None
+
+
+@dataclass
+class _StructVar:
+    name: str
+    fields: Tuple[Tuple[str, str], ...]  # (field name, spelling)
+    #: Name of a ``struct S *`` local aimed at this variable (optional).
+    pointer: Optional[str] = None
+
+
+@dataclass
+class _Scope:
+    variables: List[_Var] = field(default_factory=list)
+    arrays: List[_Array] = field(default_factory=list)
+    structs: List[_StructVar] = field(default_factory=list)
+    #: Whether expressions may reference ``input[k]`` / ``len``.
+    has_input: bool = False
+
+
+class _FunctionBuilder:
+    """Generates one function body; owns the per-function name counter."""
+
+    def __init__(self, generator: "_ProgramGenerator", has_input: bool,
+                 params: List[_Var]) -> None:
+        self.gen = generator
+        self.rng = generator.rng
+        self.config = generator.config
+        self.lines: List[str] = []
+        self.indent = 1
+        self.scope = _Scope(variables=list(params), has_input=has_input)
+        self.counter = 0
+        self.loop_depth = 0
+
+    # ------------------------------------------------------------ plumbing
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # ------------------------------------------------------- leaf choices
+    def _constant(self) -> str:
+        value = self.rng.choice(_BOUNDARY_CONSTANTS) \
+            if self.rng.random() < 0.5 else self.rng.randrange(-64, 200)
+        return f"({value})" if value < 0 else str(value)
+
+    def _input_byte(self) -> str:
+        index = self.rng.randrange(self.config.input_bytes)
+        return f"input[{index}]"
+
+    def _leaf(self, symbolic_ok: bool) -> str:
+        scope = self.scope
+        choices: List[str] = []
+        for var in scope.variables:
+            choices.append(var.name)
+        for array in scope.arrays:
+            index = self.rng.randrange(array.count)
+            choices.append(f"{array.name}[{index}]")
+            if array.pointer is not None:
+                choices.append(f"*({array.pointer} + {index})")
+        for struct in scope.structs:
+            fname = self.rng.choice([f for f, _ in struct.fields])
+            choices.append(f"{struct.name}.{fname}")
+            if struct.pointer is not None:
+                choices.append(f"{struct.pointer}->{fname}")
+        if scope.has_input and symbolic_ok:
+            for _ in range(3):  # weight input reads up
+                choices.append(self._input_byte())
+            choices.append("len")
+        if not choices or self.rng.random() < 0.25:
+            return self._constant()
+        return self.rng.choice(choices)
+
+    # ------------------------------------------------------- expressions
+    def expression(self, depth: int = 0, symbolic_ok: bool = True) -> str:
+        rng = self.rng
+        if depth >= self.config.max_expr_depth or rng.random() < 0.30:
+            return self._leaf(symbolic_ok)
+        kind = rng.randrange(100)
+        if kind < 40:
+            op = rng.choice(("+", "-", "*", "&", "|", "^", "<<", ">>"))
+            lhs = self.expression(depth + 1, symbolic_ok)
+            rhs = self.expression(depth + 1, symbolic_ok)
+            if op in ("<<", ">>"):
+                # Shift amounts are defined modulo the width in MiniC, but
+                # small amounts are likelier to survive simplification.
+                rhs = f"({self.expression(depth + 1, symbolic_ok)} & 15)"
+            return f"({lhs} {op} {rhs})"
+        if kind < 52:
+            return self._division(depth, symbolic_ok)
+        if kind < 67:
+            op = rng.choice(("==", "!=", "<", "<=", ">", ">="))
+            lhs = self.expression(depth + 1, symbolic_ok)
+            rhs = self.expression(depth + 1, symbolic_ok)
+            return f"({lhs} {op} {rhs})"
+        if kind < 77:
+            op = rng.choice(("&&", "||"))
+            lhs = self.expression(depth + 1, symbolic_ok)
+            rhs = self.expression(depth + 1, symbolic_ok)
+            return f"({lhs} {op} {rhs})"
+        if kind < 84:
+            op = rng.choice(("-", "~", "!"))
+            return f"({op}{self.expression(depth + 1, symbolic_ok)})"
+        if kind < 92:
+            spelling = rng.choice(_SCALAR_TYPES)[0]
+            return f"(({spelling}) {self.expression(depth + 1, symbolic_ok)})"
+        if kind < 97 and self.config.allow_libc and self.scope.has_input \
+                and symbolic_ok:
+            function = rng.choice(_CTYPE_FUNCTIONS)
+            return f"{function}({self._input_byte()})"
+        condition = self.expression(depth + 1, symbolic_ok)
+        then = self.expression(depth + 1, symbolic_ok)
+        otherwise = self.expression(depth + 1, symbolic_ok)
+        return f"({condition} ? {then} : {otherwise})"
+
+    def _division(self, depth: int, symbolic_ok: bool) -> str:
+        rng = self.rng
+        op = rng.choice(("/", "%"))
+        lhs = self.expression(depth + 1, symbolic_ok)
+        guard = rng.randrange(100)
+        if guard < 45:
+            divisor = str(rng.choice((2, 3, 4, 7, 8, 10, 16, 255)))
+        elif guard < 75 or not self.config.allow_trapping_division:
+            # Symbolic but provably nonzero divisor.
+            inner = self.expression(depth + 1, symbolic_ok)
+            divisor = f"(({inner}) | {rng.choice((1, 2, 5, 8))})"
+        else:
+            # May trap: division by zero is a defined runtime error that
+            # every level and both backends must report identically.
+            divisor = self.expression(depth + 1, symbolic_ok)
+        return f"({lhs} {op} {divisor})"
+
+    def condition(self) -> str:
+        symbolic_ok = self.rng.randrange(100) < \
+            self.config.symbolic_condition_pct
+        roll = self.rng.randrange(100)
+        if roll < 45:
+            op = self.rng.choice(("==", "!=", "<", "<=", ">", ">="))
+            return (f"({self.expression(1, symbolic_ok)} {op} "
+                    f"{self.expression(1, symbolic_ok)})")
+        if roll < 70:
+            op = self.rng.choice(("&&", "||"))
+            return (f"({self.expression(1, symbolic_ok)} {op} "
+                    f"{self.expression(1, symbolic_ok)})")
+        if roll < 85 and self.scope.has_input and symbolic_ok \
+                and self.config.allow_libc:
+            function = self.rng.choice(_CTYPE_FUNCTIONS[:8])
+            return f"{function}({self._input_byte()})"
+        return self.expression(1, symbolic_ok)
+
+    # -------------------------------------------------------- statements
+    def declare_scalar(self) -> None:
+        spelling, width, signed = self.rng.choice(_SCALAR_TYPES)
+        name = self.fresh("v")
+        init = self.expression(1)
+        self.emit(f"{spelling} {name} = {init};")
+        self.scope.variables.append(_Var(name, spelling, width, signed))
+
+    def declare_array(self) -> None:
+        spelling = self.rng.choice(("int", "unsigned char", "short",
+                                    "unsigned int"))
+        count = self.rng.choice((2, 4, 8))
+        name = self.fresh("arr")
+        self.emit(f"{spelling} {name}[{count}];")
+        for index in range(count):
+            self.emit(f"{name}[{index}] = {self.expression(2)};")
+        array = _Array(name, spelling, count)
+        if self.rng.random() < 0.5:
+            pointer = self.fresh("p")
+            offset = self.rng.randrange(count)
+            base = f"{name} + {offset}" if offset else name
+            self.emit(f"{spelling} *{pointer} = {base};")
+            if offset:
+                # Keep the window [pointer, pointer + count - offset) safe:
+                # remember the base array but only the base pointer name.
+                array = _Array(name, spelling, count - offset, pointer=None)
+                array.pointer = pointer
+            else:
+                array.pointer = pointer
+        self.scope.arrays.append(array)
+
+    def declare_struct(self) -> None:
+        definition = self.gen.struct_definition()
+        if definition is None:
+            return
+        struct_name, fields = definition
+        name = self.fresh("s")
+        self.emit(f"struct {struct_name} {name};")
+        for fname, _ in fields:
+            self.emit(f"{name}.{fname} = {self.expression(2)};")
+        struct = _StructVar(name, fields)
+        if self.rng.random() < 0.4:
+            pointer = self.fresh("ps")
+            self.emit(f"struct {struct_name} *{pointer} = &{name};")
+            struct.pointer = pointer
+        self.scope.structs.append(struct)
+
+    def assign(self) -> None:
+        scope = self.scope
+        targets: List[str] = [var.name for var in scope.variables]
+        for array in scope.arrays:
+            mask = array.count - 1
+            if self.rng.random() < 0.5:
+                index = f"({self.expression(2)}) & {mask}" if mask else "0"
+            else:
+                index = str(self.rng.randrange(array.count))
+            targets.append(f"{array.name}[{index}]")
+            if array.pointer is not None:
+                targets.append(f"*({array.pointer} + "
+                               f"{self.rng.randrange(array.count)})")
+        for struct in scope.structs:
+            fname = self.rng.choice([f for f, _ in struct.fields])
+            targets.append(f"{struct.name}.{fname}")
+            if struct.pointer is not None:
+                targets.append(f"{struct.pointer}->{fname}")
+        if not targets:
+            self.declare_scalar()
+            return
+        target = self.rng.choice(targets)
+        if self.rng.random() < 0.3:
+            op = self.rng.choice(("+=", "-=", "*=", "&=", "|=", "^="))
+            self.emit(f"{target} {op} {self.expression(1)};")
+        else:
+            self.emit(f"{target} = {self.expression(0)};")
+
+    def accumulate(self, accumulator: str) -> None:
+        mix = self.rng.choice(("31", "17", "7"))
+        self.emit(f"{accumulator} = {accumulator} * {mix} + "
+                  f"({self.expression(1)});")
+
+    def nested_block(self, accumulator: str, depth: int, count: int
+                     ) -> None:
+        """A block in its own lexical scope: declarations made inside it
+        must not be referenced after it closes."""
+        scope = self.scope
+        marks = (len(scope.variables), len(scope.arrays),
+                 len(scope.structs))
+        self.block(accumulator, depth, count)
+        del scope.variables[marks[0]:]
+        del scope.arrays[marks[1]:]
+        del scope.structs[marks[2]:]
+
+    def if_statement(self, accumulator: str, depth: int) -> None:
+        self.emit(f"if ({self.condition()}) {{")
+        self.indent += 1
+        self.nested_block(accumulator, depth + 1,
+                          self.rng.randrange(1, max(2, self.config.
+                                                    max_block_statements -
+                                                    1)))
+        self.indent -= 1
+        if self.rng.random() < 0.5:
+            self.emit("} else {")
+            self.indent += 1
+            self.nested_block(accumulator, depth + 1,
+                              self.rng.randrange(1, 3))
+            self.indent -= 1
+        self.emit("}")
+
+    def counted_loop(self, accumulator: str, depth: int) -> None:
+        name = self.fresh("i")
+        trips = self.rng.randrange(1, self.config.max_trip_count + 1)
+        self.emit(f"for (int {name} = 0; {name} < {trips}; "
+                  f"{name} = {name} + 1) {{")
+        self.indent += 1
+        self.loop_depth += 1
+        self.scope.variables.append(_Var(name, "int", 32, True))
+        self.nested_block(accumulator, depth + 1, self.rng.randrange(1, 4))
+        if self.rng.random() < 0.25:
+            keyword = self.rng.choice(("break", "continue"))
+            self.emit(f"if ({self.condition()}) {{ {keyword}; }}")
+        self.scope.variables.pop()
+        self.loop_depth -= 1
+        self.indent -= 1
+        self.emit("}")
+
+    def input_walker(self, accumulator: str) -> None:
+        """A bounded walk over the NUL-terminated input buffer."""
+        name = self.fresh("w")
+        self.emit(f"int {name} = 0;")
+        self.emit(f"while (input[{name}] != 0 && {name} < len) {{")
+        self.indent += 1
+        self.loop_depth += 1
+        byte = f"input[{name}]"
+        roll = self.rng.randrange(100)
+        if roll < 40 and self.config.allow_libc:
+            function = self.rng.choice(_CTYPE_FUNCTIONS)
+            self.emit(f"{accumulator} = {accumulator} * 31 + "
+                      f"({function}({byte}) != 0);")
+        elif roll < 70:
+            self.emit(f"{accumulator} = {accumulator} * 17 + "
+                      f"({byte} & {self.rng.choice((1, 3, 7, 15, 127))});")
+        else:
+            self.accumulate(accumulator)
+        self.emit(f"{name} = {name} + 1;")
+        self.loop_depth -= 1
+        self.indent -= 1
+        self.emit("}")
+
+    def helper_call(self, accumulator: str) -> None:
+        helper = self.gen.pick_helper()
+        if helper is None:
+            self.accumulate(accumulator)
+            return
+        name, arity = helper
+        args = ", ".join(self.expression(1) for _ in range(arity))
+        self.emit(f"{accumulator} = {accumulator} + {name}({args});")
+
+    def libc_statement(self, accumulator: str) -> None:
+        roll = self.rng.randrange(100)
+        if roll < 50 and self.scope.has_input:
+            self.emit(f"{accumulator} = {accumulator} + "
+                      f"(int) strlen(input);")
+            return
+        char_arrays = [a for a in self.scope.arrays
+                       if a.spelling == "unsigned char"]
+        if roll < 80 and char_arrays:
+            array = self.rng.choice(char_arrays)
+            value = self.rng.randrange(256)
+            self.emit(f"memset({array.name}, {value}, {array.count});")
+            return
+        self.accumulate(accumulator)
+
+    def block(self, accumulator: str, depth: int, count: int) -> None:
+        config = self.config
+        for _ in range(count):
+            weights: List[Tuple[int, str]] = [
+                (config.w_assign, "assign"),
+                (config.w_decl, "decl"),
+                (config.w_acc, "acc"),
+            ]
+            if depth < 3:
+                weights.append((config.w_if, "if"))
+            if self.loop_depth < config.max_loop_depth and depth < 3:
+                weights.append((config.w_loop, "loop"))
+                if self.scope.has_input:
+                    weights.append((config.w_walker, "walker"))
+            if self.gen.helpers:
+                weights.append((config.w_call, "call"))
+            if config.allow_libc:
+                weights.append((1, "libc"))
+            total = sum(weight for weight, _ in weights)
+            roll = self.rng.randrange(total)
+            for weight, kind in weights:
+                roll -= weight
+                if roll < 0:
+                    break
+            if kind == "assign":
+                self.assign()
+            elif kind == "decl":
+                roll2 = self.rng.randrange(100)
+                if roll2 < 60 or not (config.allow_arrays or
+                                      config.allow_structs):
+                    self.declare_scalar()
+                elif roll2 < 85 and config.allow_arrays:
+                    self.declare_array()
+                elif config.allow_structs:
+                    self.declare_struct()
+                else:
+                    self.declare_scalar()
+            elif kind == "acc":
+                self.accumulate(accumulator)
+            elif kind == "if":
+                self.if_statement(accumulator, depth)
+            elif kind == "loop":
+                self.counted_loop(accumulator, depth)
+            elif kind == "walker":
+                self.input_walker(accumulator)
+            elif kind == "call":
+                self.helper_call(accumulator)
+            elif kind == "libc":
+                self.libc_statement(accumulator)
+
+
+class _ProgramGenerator:
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.config = config
+        #: (name, arity) of helpers generated so far (callable as a DAG).
+        self.helpers: List[Tuple[str, int]] = []
+        self.struct_defs: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
+        self.pieces: List[str] = []
+
+    # ------------------------------------------------------------ shared
+    def struct_definition(self) -> Optional[Tuple[str,
+                                                  Tuple[Tuple[str, str],
+                                                        ...]]]:
+        """A struct definition to instantiate (creating one the first
+        time); None when structs are disabled."""
+        if not self.config.allow_structs:
+            return None
+        if not self.struct_defs or (len(self.struct_defs) < 2 and
+                                    self.rng.random() < 0.3):
+            name = f"S{len(self.struct_defs)}"
+            count = self.rng.randrange(2, 4)
+            fields = tuple(
+                (f"f{index}", self.rng.choice(("int", "unsigned char",
+                                               "short", "unsigned int")))
+                for index in range(count))
+            self.struct_defs.append((name, fields))
+            lines = [f"struct {name} {{"]
+            for fname, spelling in fields:
+                lines.append(f"    {spelling} {fname};")
+            lines.append("};")
+            self.pieces.append("\n".join(lines))
+        return self.rng.choice(self.struct_defs)
+
+    def pick_helper(self) -> Optional[Tuple[str, int]]:
+        if not self.helpers:
+            return None
+        return self.rng.choice(self.helpers)
+
+    # -------------------------------------------------------- generation
+    def _generate_helper(self, index: int) -> None:
+        arity = self.rng.randrange(1, 3)
+        params = []
+        declarations = []
+        for p in range(arity):
+            spelling, width, signed = self.rng.choice(_SCALAR_TYPES[:4])
+            params.append(_Var(f"a{p}", spelling, width, signed))
+            declarations.append(f"{spelling} a{p}")
+        name = f"helper{index}"
+        builder = _FunctionBuilder(self, has_input=False, params=params)
+        accumulator = builder.fresh("h")
+        builder.emit(f"int {accumulator} = {builder.expression(1)};")
+        builder.scope.variables.append(_Var(accumulator, "int", 32, True))
+        builder.block(accumulator, 1,
+                      self.rng.randrange(1, self.config.
+                                         max_block_statements))
+        builder.emit(f"return {accumulator};")
+        body = "\n".join(builder.lines)
+        self.pieces.append(f"int {name}({', '.join(declarations)}) {{\n"
+                           f"{body}\n}}")
+        self.helpers.append((name, arity))
+
+    def _generate_main(self) -> None:
+        builder = _FunctionBuilder(self, has_input=True, params=[])
+        builder.emit("int acc = 0;")
+        builder.scope.variables.append(_Var("acc", "int", 32, True))
+        builder.block("acc", 0, self.rng.randrange(
+            3, self.config.max_block_statements + 3))
+        builder.emit("return acc;")
+        body = "\n".join(builder.lines)
+        self.pieces.append("int main(unsigned char *input, int len) {\n"
+                           f"{body}\n}}")
+
+    def generate(self) -> str:
+        header = (f"/* fuzz seed={self.seed} "
+                  f"config=[{self.config.describe()}] */")
+        for index in range(self.rng.randrange(0,
+                                              self.config.max_helpers + 1)):
+            self._generate_helper(index)
+        self._generate_main()
+        return "\n\n".join([header] + self.pieces) + "\n"
+
+
+def generate_program(seed: int, config: Optional[GeneratorConfig] = None
+                     ) -> str:
+    """Generate a well-defined MiniC program from ``(seed, config)``.
+
+    Deterministic: equal arguments produce byte-identical source.
+    """
+    return _ProgramGenerator(seed, config or GeneratorConfig()).generate()

@@ -1,0 +1,177 @@
+"""Render a frontend AST back to compilable MiniC source.
+
+The minimizer edits programs as ASTs (drop a statement, replace an
+expression with a literal) and needs to turn each candidate back into
+text for the oracle.  Rendering is deliberately over-parenthesized —
+every composite expression gets its own parentheses — so no operator
+precedence reasoning is needed and the output is always re-parsable.
+
+``parse(render(parse(s)))`` is structurally the identity for the MiniC
+subset the fuzzer generates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..frontend import ast
+from ..frontend.ctype import CArray, CPointer, CType
+
+
+def declare(ctype: CType, name: str) -> str:
+    """C declarator spelling for ``name`` of type ``ctype``
+    (``int *p``, ``short a[4]``, ``struct S s``)."""
+    if isinstance(ctype, CArray):
+        return declare(ctype.element, f"{name}[{ctype.count}]")
+    if isinstance(ctype, CPointer):
+        return declare(ctype.pointee, f"*{name}")
+    return f"{ctype} {name}"
+
+
+def _string_literal(value: bytes) -> str:
+    parts = []
+    for byte in value:
+        if byte in (0x22, 0x5C):  # " and backslash
+            parts.append("\\" + chr(byte))
+        elif 0x20 <= byte < 0x7F:
+            parts.append(chr(byte))
+        else:
+            parts.append(f"\\x{byte:02x}")
+    return '"' + "".join(parts) + '"'
+
+
+def render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLiteral):
+        return f"({expr.value})" if expr.value < 0 else str(expr.value)
+    if isinstance(expr, ast.CharLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.StringLiteral):
+        return _string_literal(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.PostfixOp):
+        return f"({render_expr(expr.operand)}{expr.op})"
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == ",":
+            return f"({render_expr(expr.lhs)}, {render_expr(expr.rhs)})"
+        return (f"({render_expr(expr.lhs)} {expr.op} "
+                f"{render_expr(expr.rhs)})")
+    if isinstance(expr, ast.LogicalOp):
+        return (f"({render_expr(expr.lhs)} {expr.op} "
+                f"{render_expr(expr.rhs)})")
+    if isinstance(expr, ast.Assignment):
+        return (f"({render_expr(expr.target)} {expr.op} "
+                f"{render_expr(expr.value)})")
+    if isinstance(expr, ast.Conditional):
+        return (f"({render_expr(expr.condition)} ? "
+                f"{render_expr(expr.then)} : "
+                f"{render_expr(expr.otherwise)})")
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(arg) for arg in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.Index):
+        return f"{render_expr(expr.base)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.Member):
+        join = "->" if expr.is_arrow else "."
+        return f"{render_expr(expr.base)}{join}{expr.field_name}"
+    if isinstance(expr, ast.Cast):
+        return f"(({expr.target_type}) {render_expr(expr.operand)})"
+    if isinstance(expr, ast.SizeOf):
+        if expr.target_type is not None:
+            return f"sizeof({expr.target_type})"
+        return f"sizeof({render_expr(expr.operand)})"
+    raise TypeError(f"unrenderable expression {type(expr).__name__}")
+
+
+def _render_stmt(stmt: ast.Stmt, indent: int, out: List[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, ast.ExprStmt):
+        out.append(f"{pad}{render_expr(stmt.expr)};")
+    elif isinstance(stmt, ast.Declaration):
+        text = declare(stmt.var_type, stmt.name)
+        if stmt.initializer is not None:
+            text += f" = {render_expr(stmt.initializer)}"
+        out.append(f"{pad}{text};")
+    elif isinstance(stmt, ast.Block):
+        out.append(f"{pad}{{")
+        for inner in stmt.statements:
+            _render_stmt(inner, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.If):
+        out.append(f"{pad}if ({render_expr(stmt.condition)})")
+        _render_stmt(_blockify(stmt.then), indent, out)
+        if stmt.otherwise is not None:
+            out.append(f"{pad}else")
+            _render_stmt(_blockify(stmt.otherwise), indent, out)
+    elif isinstance(stmt, ast.While):
+        out.append(f"{pad}while ({render_expr(stmt.condition)})")
+        _render_stmt(_blockify(stmt.body), indent, out)
+    elif isinstance(stmt, ast.DoWhile):
+        out.append(f"{pad}do")
+        _render_stmt(_blockify(stmt.body), indent, out)
+        out.append(f"{pad}while ({render_expr(stmt.condition)});")
+    elif isinstance(stmt, ast.For):
+        init = ""
+        if isinstance(stmt.init, ast.Declaration):
+            init = declare(stmt.init.var_type, stmt.init.name)
+            if stmt.init.initializer is not None:
+                init += f" = {render_expr(stmt.init.initializer)}"
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = render_expr(stmt.init.expr)
+        condition = ("" if stmt.condition is None
+                     else render_expr(stmt.condition))
+        step = "" if stmt.step is None else render_expr(stmt.step)
+        out.append(f"{pad}for ({init}; {condition}; {step})")
+        _render_stmt(_blockify(stmt.body), indent, out)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        else:
+            out.append(f"{pad}return {render_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Break):
+        out.append(f"{pad}break;")
+    elif isinstance(stmt, ast.Continue):
+        out.append(f"{pad}continue;")
+    elif isinstance(stmt, ast.EmptyStmt):
+        out.append(f"{pad};")
+    else:
+        raise TypeError(f"unrenderable statement {type(stmt).__name__}")
+
+
+def _blockify(stmt: ast.Stmt) -> ast.Block:
+    if isinstance(stmt, ast.Block):
+        return stmt
+    return ast.Block(statements=[stmt])
+
+
+def render_program(unit: ast.TranslationUnit) -> str:
+    """Render a translation unit back to MiniC source text."""
+    pieces: List[str] = []
+    for struct in unit.structs:
+        lines = [f"struct {struct.name} {{"]
+        for fname, ftype in zip(struct.field_names, struct.field_types):
+            lines.append(f"    {declare(ftype, fname)};")
+        lines.append("};")
+        pieces.append("\n".join(lines))
+    for decl in unit.globals:
+        text = declare(decl.var_type, decl.name)
+        if decl.is_const:
+            text = f"const {text}"
+        if decl.initializer is not None:
+            text += f" = {render_expr(decl.initializer)}"
+        pieces.append(f"{text};")
+    for function in unit.functions:
+        params = ", ".join(declare(p.param_type, p.name)
+                           for p in function.parameters)
+        head = f"{function.return_type} {function.name}({params})"
+        if function.body is None:
+            pieces.append(f"{head};")
+            continue
+        lines = [f"{head} {{"]
+        for stmt in function.body.statements:
+            _render_stmt(stmt, 1, lines)
+        lines.append("}")
+        pieces.append("\n".join(lines))
+    return "\n\n".join(pieces) + "\n"

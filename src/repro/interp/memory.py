@@ -9,8 +9,9 @@ verification tool expects from its runtime.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .errors import ErrorKind, ProgramError
 
@@ -39,8 +40,10 @@ class Memory:
         self._next_address = NULL_GUARD_SIZE
         self._objects: List[MemoryObject] = []
         self._bytes: Dict[int, int] = {}
-        #: Interval index: sorted list of (base, object) for lookup.
-        self._by_base: List[Tuple[int, MemoryObject]] = []
+        #: Interval index for lookup: bases ascend because allocation only
+        #: ever bumps ``_next_address``, so ``_bases[i]`` is the base of
+        #: ``_objects[i]`` and both lists stay sorted without effort.
+        self._bases: List[int] = []
 
     # -------------------------------------------------------------- layout
     def allocate(self, size: int, name: str = "",
@@ -53,14 +56,22 @@ class Memory:
         self._next_address += size + 16
         obj = MemoryObject(base=base, size=size, name=name, writable=writable)
         self._objects.append(obj)
-        self._by_base.append((base, obj))
+        self._bases.append(base)
         return base
 
     def object_at(self, address: int) -> Optional[MemoryObject]:
-        """The object containing ``address``, if any."""
-        for base, obj in reversed(self._by_base):
-            if obj.base <= address < obj.base + obj.size:
-                return obj
+        """The object containing ``address``, if any.
+
+        Binary search over the (always sorted) base list: a linear scan
+        here made every load/store O(objects) and dominated interpreter
+        time on alloca-heavy programs.
+        """
+        index = bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        obj = self._objects[index]
+        if obj.base <= address < obj.base + obj.size:
+            return obj
         return None
 
     # -------------------------------------------------------------- access

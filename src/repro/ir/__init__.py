@@ -24,7 +24,9 @@ from .function import Function
 from .module import Module
 from .builder import IRBuilder, eval_binary, eval_icmp
 from .printer import print_function, print_instruction, print_module
-from .verifier import VerificationError, verify_function, verify_module
+from .verifier import (
+    VerificationError, verify_function, verify_module, verify_ssa_dominance,
+)
 
 __all__ = [
     "ArrayType", "FunctionType", "IntType", "PointerType", "StructType",
@@ -41,4 +43,5 @@ __all__ = [
     "eval_binary", "eval_icmp",
     "print_function", "print_instruction", "print_module",
     "VerificationError", "verify_function", "verify_module",
+    "verify_ssa_dominance",
 ]

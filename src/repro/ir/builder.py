@@ -256,6 +256,17 @@ class IRBuilder:
 # --------------------------------------------------------------------------
 # Constant folding helpers (shared with the SCCP/instcombine passes)
 # --------------------------------------------------------------------------
+def _truncdiv(a: int, b: int) -> int:
+    """C-style signed division: truncate toward zero.
+
+    Not ``int(a / b)`` — float division is only exact below 2**53, so it
+    silently mis-rounds 64-bit ``long`` quotients; not ``a // b`` either,
+    which floors toward negative infinity.
+    """
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
 def eval_binary(opcode: Opcode, ty: IntType, lhs: int, rhs: int) -> Optional[int]:
     """Evaluate a binary opcode over two unsigned ``ty`` values.
 
@@ -299,13 +310,12 @@ def eval_binary(opcode: Opcode, ty: IntType, lhs: int, rhs: int) -> Optional[int
     if opcode is Opcode.SDIV:
         if rhs == 0:
             return None
-        quotient = int(signed(lhs) / signed(rhs)) if signed(rhs) != 0 else None
-        return quotient & mask if quotient is not None else None
+        return _truncdiv(signed(lhs), signed(rhs)) & mask
     if opcode is Opcode.SREM:
         if rhs == 0:
             return None
         slhs, srhs = signed(lhs), signed(rhs)
-        return (slhs - int(slhs / srhs) * srhs) & mask
+        return (slhs - _truncdiv(slhs, srhs) * srhs) & mask
     raise ValueError(f"not a binary opcode: {opcode}")
 
 

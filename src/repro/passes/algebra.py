@@ -135,6 +135,10 @@ class AlgebraicSimplify(Pass):
         if crhs is None or not isinstance(inst.lhs, BinaryInst):
             return None
         inner = inst.lhs
+        if inner is inst or inner.lhs is inst:
+            # Self-referential chain (non-SSA input); rewriting would
+            # rebuild the same instruction forever.
+            return None
         cinner = _constant(inner.rhs)
         if cinner is None:
             return None

@@ -14,10 +14,13 @@ from ..analysis import (
     FUNCTION_ANALYSES, AnalysisManager, PreservedAnalyses,
 )
 from ..ir import (
-    AllocaInst, CallInst, Function, GEPInst, Instruction, LoadInst, Module,
-    Opcode, StoreInst,
+    AllocaInst, CallInst, ConstantInt, Function, GEPInst, Instruction,
+    LoadInst, Module, Opcode, StoreInst,
 )
 from .pass_manager import Pass
+
+_DIVISION_OPCODES = frozenset(
+    (Opcode.SDIV, Opcode.UDIV, Opcode.SREM, Opcode.UREM))
 
 
 def _is_trivially_dead(inst: Instruction) -> bool:
@@ -29,6 +32,17 @@ def _is_trivially_dead(inst: Instruction) -> bool:
         return False
     if isinstance(inst, CallInst):
         return False  # calls may have side effects; the IPO passes handle them
+    if inst.opcode in _DIVISION_OPCODES:
+        # A zero divisor is an observable trap at every level (the
+        # interpreter raises DIVISION_BY_ZERO and symex reports it as a
+        # bug), so an unused division is only dead when the divisor is a
+        # provably nonzero constant.  Every other pass (lowering's
+        # short-circuit speculation, ifconvert, LICM) already refuses to
+        # move div/rem for the same reason; DCE deleting them silently
+        # dropped the trap from -O1 and up.
+        divisor = inst.operands[1]
+        if not (isinstance(divisor, ConstantInt) and divisor.value != 0):
+            return False
     return True
 
 

@@ -55,13 +55,20 @@ def _block_is_forwardable(block: BasicBlock, phi: PhiInst,
         if isinstance(inst, PhiInst):
             continue  # other phis merely merge values; they stay in place
         return False
-    # Other phis in the block must not be used outside it, otherwise removing
-    # an incoming edge would change their meaning for those uses.
+    # No phi in the block may be used outside it — the threaded phi
+    # included.  A threaded edge bypasses the block, so an outside user of
+    # any of its phis would need the bypassed value materialized on the
+    # new edge (LLVM duplicates the block body for this; we don't), and
+    # the block may stop dominating the user altogether, leaving a use of
+    # a non-dominating def behind (found by differential fuzzing: a loop
+    # counter `i = phi(0, i+1)` tested by the branch *and* incremented in
+    # the body was threaded past, turning the increment into `t = add t,
+    # 1` once SimplifyCFG folded the orphaned phi).
     for other in block.phis():
-        if other is phi:
-            continue
         for use in other.uses:
             user = use.user
+            if user is icmp:
+                continue
             if isinstance(user, Instruction) and user.parent is not block:
                 return False
     return True

@@ -115,16 +115,45 @@ class SimplifyCFG(Pass):
         for block in function.blocks:
             for phi in list(block.phis()):
                 if len(phi.operands) == 1:
-                    phi.replace_all_uses_with(phi.operands[0])
+                    value = phi.operands[0]
+                    if self._feeds_from(value, phi):
+                        continue
+                    phi.replace_all_uses_with(value)
                     phi.erase_from_parent()
                     changed = True
                 elif len(phi.operands) > 1:
                     first = phi.operands[0]
-                    if all(op is first for op in phi.operands) and first is not phi:
+                    if all(op is first for op in phi.operands) and \
+                            first is not phi and \
+                            not self._feeds_from(first, phi):
                         phi.replace_all_uses_with(first)
                         phi.erase_from_parent()
                         changed = True
         return changed
+
+    @staticmethod
+    def _feeds_from(value, phi, limit: int = 64) -> bool:
+        """True if ``value`` transitively reads ``phi`` through non-phi
+        instructions.  Collapsing such a phi would splice its replacement
+        into its own operand chain (``t = add t, 1``), which is not SSA and
+        sends downstream rewriters into infinite loops.  This only triggers
+        on input that already violates dominance, so the walk is bounded and
+        bails conservatively."""
+        from ..ir import Instruction
+        stack = [value]
+        seen: set = set()
+        while stack:
+            current = stack.pop()
+            if current is phi:
+                return True
+            if not isinstance(current, Instruction) or \
+                    isinstance(current, PhiInst) or id(current) in seen:
+                continue
+            if len(seen) >= limit:
+                return True  # give up conservatively; keep the phi
+            seen.add(id(current))
+            stack.extend(current.operands)
+        return False
 
     def _merge_into_predecessor(self, function: Function) -> bool:
         """Merge ``block`` into ``pred`` when pred's only successor is block

@@ -78,6 +78,16 @@ def to_signed(value: int, width: int) -> int:
     return value
 
 
+def truncdiv(a: int, b: int) -> int:
+    """C-style signed division: truncate toward zero.
+
+    Exact for any width — ``int(a / b)`` goes through a float and
+    mis-rounds 64-bit quotients; ``a // b`` floors instead of truncating.
+    """
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
 class Expr:
     """An immutable, interned bitvector expression.
 
@@ -308,14 +318,14 @@ class Expr:
                 if rhs == 0:
                     values[i] = 0
                 else:
-                    values[i] = int(signed(lhs, opw) /
-                                    signed(rhs, opw)) & ((1 << width) - 1)
+                    values[i] = truncdiv(signed(lhs, opw),
+                                         signed(rhs, opw)) & ((1 << width) - 1)
             elif op is op_srem:
                 if rhs == 0:
                     values[i] = lhs
                 else:
                     slhs, srhs = signed(lhs, opw), signed(rhs, opw)
-                    values[i] = (slhs - int(slhs / srhs) * srhs) & \
+                    values[i] = (slhs - truncdiv(slhs, srhs) * srhs) & \
                         ((1 << width) - 1)
             else:
                 raise ValueError(f"cannot evaluate {op}")

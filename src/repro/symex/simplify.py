@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from .expr import COMPARISON_OPS, Expr, ExprOp, mask, to_signed
+from .expr import COMPARISON_OPS, Expr, ExprOp, mask, to_signed, truncdiv
 
 # Strong bounded caches in front of the weak intern table for the two
 # highest-traffic constructors: they skip the weakref machinery and keep the
@@ -81,12 +81,13 @@ def _fold_binary(op: ExprOp, width: int, lhs: int, rhs: int,
     if op is ExprOp.SDIV:
         if rhs == 0:
             return 0
-        return int(to_signed(lhs, width) / to_signed(rhs, width)) & mask(width)
+        return truncdiv(to_signed(lhs, width),
+                         to_signed(rhs, width)) & mask(width)
     if op is ExprOp.SREM:
         if rhs == 0:
             return lhs
         slhs, srhs = to_signed(lhs, width), to_signed(rhs, width)
-        return (slhs - int(slhs / srhs) * srhs) & mask(width)
+        return (slhs - truncdiv(slhs, srhs) * srhs) & mask(width)
     if op is ExprOp.EQ:
         return int(lhs == rhs)
     if op is ExprOp.NE:
@@ -184,9 +185,17 @@ def not_expr(operand: Expr) -> Expr:
     assert operand.width == 1
     if operand.is_constant:
         return const(1, 1 - operand.value)
-    if operand.op is ExprOp.XOR and operand.operands[1].is_constant and \
-            operand.operands[1].value == 1:
-        return operand.operands[0]
+    if operand.op is ExprOp.XOR:
+        # ``binary`` canonicalizes the constant of a commutative operator
+        # to the right, but a double negation must collapse regardless of
+        # which side the 1 landed on — substitution paths may hand us a
+        # non-canonical node, and silently skipping the rewrite would leave
+        # an opaque ``xor`` in front of the solver.
+        a, b = operand.operands
+        if b.is_constant and b.value == 1:
+            return a
+        if a.is_constant and a.value == 1:
+            return b
     # not (a == b) -> a != b, etc., keeps constraints in comparison form.
     negations = {ExprOp.EQ: ExprOp.NE, ExprOp.NE: ExprOp.EQ}
     if operand.op in negations:

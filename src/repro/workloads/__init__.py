@@ -3,6 +3,9 @@
 * :mod:`repro.workloads.wc` — the paper's Listing 1 motivating example.
 * The ``coreutils_*`` modules register ~30 Coreutils-like utilities, the
   population for Table 3 and Figure 4.
+* :mod:`repro.workloads.fuzz_regressions` — minimized reproducers for
+  bugs found by the differential fuzzer (category ``fuzz``), replayed
+  with ``python -m repro fuzz --check-workloads``.
 """
 
 from .registry import Workload, all_workloads, get_workload, register, workload_names
@@ -15,6 +18,7 @@ from .wc import (
 from . import coreutils_text  # noqa: F401  (registration side effect)
 from . import coreutils_filters  # noqa: F401
 from . import coreutils_misc  # noqa: F401
+from . import fuzz_regressions  # noqa: F401
 
 __all__ = [
     "Workload", "all_workloads", "get_workload", "register", "workload_names",
