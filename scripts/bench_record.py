@@ -196,6 +196,78 @@ def _warm_store_trajectory() -> dict:
     return section
 
 
+def _relcheck_trajectory() -> dict:
+    """The translation-validation trajectory: relchecking wc's
+    (-O0, -OVERIFY) pair cold, warm (solver caches primed from the cold
+    run's store), and memoized (the whole-run memo answering without any
+    exploration).  Verdicts are identical across the three by contract
+    (``tests/test_relcheck.py`` and ``benchmarks/test_relcheck_bench.py``
+    hold that); the wall-clock triple records how much of a re-check the
+    store amortizes away.  Best of three rounds each."""
+    import tempfile
+
+    from repro.relcheck import RelcheckConfig, relcheck_modules
+    from repro.service.store import SolverKnowledgeStore
+    from repro.symex import SharedSolverCaches
+
+    config = RelcheckConfig(input_bytes=WC_INPUT_BYTES,
+                            timeout_seconds=TIMEOUT_SECONDS)
+    module_a = compile_source(WC_PROGRAM,
+                              CompileOptions(level=OptLevel.O0)).module
+    module_b = compile_source(WC_PROGRAM,
+                              CompileOptions(level=OptLevel.OVERIFY)).module
+    section: dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "knowledge.jsonl"
+
+        cold_times = []
+        for round_index in range(3):
+            store = SolverKnowledgeStore(store_path) if round_index == 0 \
+                else None
+            start = time.perf_counter()
+            report = relcheck_modules(module_a, module_b, config=config,
+                                      pair=("-O0", "-OVERIFY"), store=store)
+            cold_times.append(time.perf_counter() - start)
+            assert report.clean and not report.truncated
+            if round_index == 0:
+                section["paths_proved"] = report.stats.paths_proved
+                section["equivalence_folded"] = \
+                    report.stats.equivalence_folded
+
+        # Warm: solver caches primed from the cold run's store, but no
+        # store handed to the run itself — so the whole-run memo cannot
+        # short-circuit and the primed-cache speedup is what's measured.
+        warm_times = []
+        for _ in range(3):
+            store = SolverKnowledgeStore(store_path)
+            store.load()
+            caches = SharedSolverCaches(num_stripes=1)
+            store.prime(caches)
+            start = time.perf_counter()
+            report = relcheck_modules(module_a, module_b, config=config,
+                                      pair=("-O0", "-OVERIFY"),
+                                      shared_caches=caches)
+            warm_times.append(time.perf_counter() - start)
+            assert report.clean and not report.truncated
+
+        memo_times = []
+        for _ in range(3):
+            store = SolverKnowledgeStore(store_path)
+            store.load()
+            start = time.perf_counter()
+            report = relcheck_modules(module_a, module_b, config=config,
+                                      pair=("-O0", "-OVERIFY"), store=store)
+            memo_times.append(time.perf_counter() - start)
+            assert report.provenance == "memo-hit"
+
+    section.update({
+        "cold_seconds": round(min(cold_times), 3),
+        "warm_seconds": round(min(warm_times), 3),
+        "memo_seconds": round(min(memo_times), 3),
+    })
+    return section
+
+
 def _fault_overhead() -> dict:
     """The unarmed-injector guard: with no fault plan installed, the
     fault sites threaded through the solver/executor/pool hot paths must
@@ -307,6 +379,11 @@ def measure(label: str) -> dict:
     # The cross-run amortization trajectory: cold vs store-warmed vs
     # memoized wc sweeps (see docs/service.md).
     entry["warm_store"] = _warm_store_trajectory()
+
+    # The translation-validation trajectory: relchecking the paper's
+    # (-O0, -OVERIFY) pair cold vs store-warmed vs memoized
+    # (see docs/relcheck.md).
+    entry["relcheck"] = _relcheck_trajectory()
 
     # The robustness guard: fault sites cost nothing while disarmed
     # (see docs/robustness.md).

@@ -84,6 +84,17 @@ python -m repro fuzz --check-workloads --out "$fuzz_out"
 rm -rf "$fuzz_out"
 
 echo
+echo "== relcheck smoke: translation validation at both level pairs =="
+# The product driver must prove the smoke pair equivalent (wc: pure
+# return-value paths; buggy_div: trap-agreement paths) with zero
+# divergences at the paper's pair and at (O2, O3).  docs/relcheck.md.
+for pair in O0,OVERIFY O2,O3; do
+    python -m repro relcheck wc --levels "$pair" --workers 2 --input-bytes 3
+    python -m repro relcheck buggy_div --levels "$pair" --workers 2 \
+        --input-bytes 3
+done
+
+echo
 echo "== parallel exploration smoke: workers=4 must match workers=1 =="
 python - <<'PY'
 from repro.pipelines import CompileOptions, OptLevel, compile_source

@@ -22,6 +22,12 @@ The ``fuzz`` subcommand runs the differential fuzzer
 
     python -m repro fuzz --seeds 200 --jobs 4
     python -m repro fuzz --seed 17 --minimize
+
+The ``relcheck`` subcommand proves two optimization levels of a workload
+equivalent path-by-path (see ``docs/relcheck.md``):
+
+    python -m repro relcheck wc --levels O0,OVERIFY --workers 4
+    python -m repro relcheck --all
 """
 
 from __future__ import annotations
@@ -211,6 +217,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "fuzz":
         from .fuzz.cli import fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "relcheck":
+        from .relcheck.cli import relcheck_main
+        return relcheck_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 

@@ -151,6 +151,11 @@ def fuzz_main(argv: List[str]) -> int:
     parser.add_argument("--no-solver-matrix", action="store_true",
                         help="skip the optimized-vs-naive solver matrix "
                              "(faster, checks levels only)")
+    parser.add_argument("--relcheck", action="store_true",
+                        help="also translation-validate -O0 vs -OVERIFY "
+                             "per seed with the relcheck product driver "
+                             "(oracle family 6; slower but *proves* "
+                             "return-value and trap-set agreement)")
     parser.add_argument("--out", default="fuzz-findings", metavar="DIR",
                         help="directory for divergence artifacts "
                              "(default fuzz-findings/)")
@@ -176,6 +181,7 @@ def fuzz_main(argv: List[str]) -> int:
         max_concrete_inputs=args.max_concrete_inputs,
         query_deadline_seconds=FUZZ_ORACLE_CONFIG.query_deadline_seconds,
         check_solver_matrix=not args.no_solver_matrix,
+        check_relcheck=args.relcheck,
     )
 
     if args.check_workloads:

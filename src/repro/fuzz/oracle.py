@@ -1,7 +1,8 @@
 """Differential oracle: every level and backend against every other.
 
-For one generated program the oracle runs four families of checks, each
-one a semantics-preservation claim the optimization levels make:
+For one generated program the oracle runs six families of checks (the
+last opt-in), each one a semantics-preservation claim the optimization
+levels make:
 
 1. **Compile**: all five levels must accept the program (the generator
    only emits well-formed MiniC, so a level-specific compile error is a
@@ -27,6 +28,12 @@ one a semantics-preservation claim the optimization levels make:
    path outcomes — the same claim
    ``tests/test_solver_differential.py`` makes per query, made
    whole-program.
+6. **Cross-level translation validation** (opt-in, ``--relcheck``): the
+   relcheck product driver (:mod:`repro.relcheck`) *proves* one level
+   pair path-equivalent on the same symbolic input — per-path return
+   values discharged by the solver and trap-set agreement, where family
+   3 only samples concrete inputs.  Every relcheck divergence carries a
+   concrete counterexample input.
 
 Engine failures (``stats.engine_errors`` / ``report.diagnostics``) are
 divergences in their own right: the oracle's subject includes the
@@ -95,6 +102,15 @@ class OracleConfig:
         ("naive", NAIVE_SOLVER_CONFIG),
         ("mixed", MIXED_SOLVER_CONFIG),
     )
+    #: Family 6 (opt-in, each seed costs an extra product exploration):
+    #: prove ``relcheck_pair`` path-equivalent with the relcheck product
+    #: driver instead of merely sampling concrete inputs.
+    check_relcheck: bool = False
+    relcheck_pair: Tuple[OptLevel, OptLevel] = (OptLevel.O0,
+                                                OptLevel.OVERIFY)
+    #: Trap-kind values whose deletion by the optimized level is licensed
+    #: (forwarded to :attr:`~repro.relcheck.RelcheckConfig.trap_whitelist`).
+    relcheck_trap_whitelist: Tuple[str, ...] = ()
 
     def limits(self) -> SymexLimits:
         return SymexLimits(max_paths=self.max_paths,
@@ -108,7 +124,7 @@ class Divergence:
     """One observed disagreement, with everything needed to reproduce it."""
 
     kind: str        # "compile" | "replay" | "concrete" | "bug-set" |
-                     # "solver-matrix" | "engine"
+                     # "solver-matrix" | "relcheck" | "engine"
     detail: str
     seed: Optional[int] = None
     source: str = ""
@@ -363,6 +379,39 @@ class _Oracle:
                     f"{level} with {name} solver produced a different "
                     f"path-outcome multiset than the default solver")
 
+    def relcheck_levels(self, modules: Dict[OptLevel, object]) -> None:
+        """Family 6: prove the configured pair path-equivalent."""
+        if not self.config.check_relcheck:
+            return
+        # Imported lazily: the oracle's default families must not pull
+        # the product driver in.
+        from ..relcheck import RelcheckConfig, relcheck_modules
+        level_a, level_b = self.config.relcheck_pair
+        module_a = modules.get(level_a)
+        module_b = modules.get(level_b)
+        if module_a is None or module_b is None:
+            return  # already reported as a "compile" divergence
+        relcheck_config = RelcheckConfig(
+            input_bytes=self.generator_config.input_bytes,
+            max_paths=self.config.max_paths,
+            max_instructions=self.config.max_instructions,
+            max_forks=self.config.max_forks,
+            timeout_seconds=self.config.timeout_seconds,
+            query_deadline_seconds=self.config.query_deadline_seconds,
+            trap_whitelist=frozenset(self.config.relcheck_trap_whitelist))
+        report = relcheck_modules(module_a, module_b,
+                                  config=relcheck_config,
+                                  pair=(str(level_a), str(level_b)))
+        if report.truncated:
+            self.outcome.truncated = True
+        for divergence in report.divergences:
+            witness = "" if divergence.counterexample is None \
+                else f" (input {divergence.counterexample.hex()})"
+            self.diverge(
+                "relcheck",
+                f"{level_a} vs {level_b}: [{divergence.kind}] "
+                f"{divergence.detail}{witness}")
+
     # ---------------------------------------------------------- helpers
     def _make_solver(self, base: Optional[SolverConfig]) -> Solver:
         config = base if base is not None else SolverConfig()
@@ -385,6 +434,7 @@ class _Oracle:
             self.replay_level(level, module, reports[level])
         self.cross_level_concrete(modules, reports)
         self.cross_level_bugs(reports)
+        self.relcheck_levels(modules)
         self.solver_matrix(modules, reports)
         return self.outcome
 

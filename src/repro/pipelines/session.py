@@ -330,6 +330,40 @@ class CompilerSession:
         outcome = backend.verify(result.module, request)
         return result, outcome
 
+    def compile_and_validate(self, program_source: str,
+                             levels: Optional[List[OptLevel]] = None,
+                             options: Optional[CompileOptions] = None,
+                             relcheck_config: Optional[object] = None,
+                             store: Optional[object] = None) -> Tuple[
+                                 Dict[OptLevel, CompilationResult], object]:
+        """Compile at two levels and translation-validate the pair.
+
+        The cross-level counterpart of :meth:`compile_and_verify`: the
+        same front end feeds both compilations, then the relcheck
+        product driver (:mod:`repro.relcheck`) proves the optimized
+        module path-equivalent to the reference.  Default pair: the
+        paper's (-O0, -OVERIFY).  ``relcheck_config`` is a
+        :class:`~repro.relcheck.RelcheckConfig`; ``store`` an optional
+        :class:`~repro.service.store.SolverKnowledgeStore` for warm
+        reruns.  Returns ``({level: compilation_result}, report)``.
+        """
+        # Imported lazily so sessions stay usable without the execution
+        # engines (mirrors compile_and_verify).
+        from ..relcheck import relcheck_modules
+
+        levels = levels or [OptLevel.O0, OptLevel.OVERIFY]
+        if len(levels) != 2:
+            raise ValueError("compile_and_validate needs exactly two "
+                             f"levels, got {len(levels)}")
+        results = self.compile_at_levels(program_source, levels=levels,
+                                         options=options)
+        report = relcheck_modules(results[levels[0]].module,
+                                  results[levels[1]].module,
+                                  config=relcheck_config,
+                                  pair=(str(levels[0]), str(levels[1])),
+                                  store=store)
+        return results, report
+
     def compile_at_levels(self, program_source: str,
                           levels: Optional[List[OptLevel]] = None,
                           options: Optional[CompileOptions] = None

@@ -1,0 +1,18 @@
+"""Cross-level translation validation (``docs/relcheck.md``).
+
+Proves two compilations of the same source equivalent path-by-path by
+exploring the reference module symbolically and replaying the optimized
+module under each path's constraints — see :mod:`repro.relcheck.product`
+for the construction.
+"""
+
+from .product import (
+    PathVerdict, RelcheckConfig, RelcheckDivergence, RelcheckReport,
+    RelcheckStats, relcheck_modules, relcheck_source, relcheck_workload,
+)
+
+__all__ = [
+    "PathVerdict", "RelcheckConfig", "RelcheckDivergence", "RelcheckReport",
+    "RelcheckStats", "relcheck_modules", "relcheck_source",
+    "relcheck_workload",
+]

@@ -201,6 +201,16 @@ def verification_fingerprint(module: Module, request: VerificationRequest,
     return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()
 
 
+def relcheck_fingerprint(module_a: Module, module_b: Module,
+                         spec: str) -> str:
+    """The memo key of one translation-validation run: both modules'
+    printed IR plus the relcheck configuration's canonical spec
+    (:meth:`repro.relcheck.RelcheckConfig.spec`).  The leading tag keeps
+    the key space disjoint from verification memos."""
+    parts = ["relcheck", spec, print_module(module_a), print_module(module_b)]
+    return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()
+
+
 def outcome_to_memo(outcome: VerificationOutcome) -> Dict[str, object]:
     """The JSON-ready memo payload of a completed verification."""
     payload: Dict[str, object] = {
@@ -611,5 +621,5 @@ __all__ = [
     "FORMAT_NAME", "FORMAT_VERSION", "SolverKnowledgeStore",
     "StoreFormatError", "WireError", "expr_from_wire", "expr_to_wire",
     "group_fingerprint", "memo_to_outcome", "outcome_to_memo",
-    "verification_fingerprint",
+    "relcheck_fingerprint", "verification_fingerprint",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..faults import EngineError, WorkerCrash, site as _fault_site
 from ..interp.errors import ErrorKind, ProgramError
@@ -28,6 +28,7 @@ from ..ir import (
     Type, UndefValue, UnreachableInst, Value,
 )
 from .expr import Expr, ExprOp
+from .facts import decide_with_facts, unary_facts
 from .memory import SymbolicMemory
 from .searcher import Searcher, make_searcher
 from .simplify import binary, const, ite, not_expr, sext, trunc, var, zext, bitwise_not
@@ -249,7 +250,10 @@ class SymbolicExecutor:
                  budget: Optional[ExplorationBudget] = None,
                  globals_map: Optional[Dict[str, int]] = None,
                  input_variables: Optional[List[str]] = None,
-                 record_traces: bool = False) -> None:
+                 record_traces: bool = False,
+                 state_sink: Optional[Callable[[ExecutionState], None]]
+                 = None,
+                 fact_pruning: bool = False) -> None:
         self.module = module
         self.entry = module.get_function(entry)
         self.searcher = make_searcher(searcher) if isinstance(searcher, str) \
@@ -270,6 +274,30 @@ class SymbolicExecutor:
         #: Record fork-decision traces on states (an O(depth) tuple copy
         #: per fork) — only the process-mode bootstrap needs them.
         self._record_traces = record_traces
+        #: Optional observer handed every finished state (completed or
+        #: errored, never engine-error states, which are mid-flight
+        #: wreckage).  The relcheck product driver uses this to capture
+        #: each path's constraints and symbolic return value — data the
+        #: :class:`PathRecord` deliberately does not carry.  Called on
+        #: whichever worker thread finished the path; the callback owns
+        #: its own synchronization.
+        self._state_sink = state_sink
+        #: Refute "maybe satisfiable" fork conditions against the path's
+        #: unary facts before forking (:mod:`repro.symex.facts`).  Off by
+        #: default to keep the canonical exploration semantics; the
+        #: relcheck product driver turns it on because phantom paths are
+        #: pure waste there — every verdict is feasibility-confirmed
+        #: anyway.
+        self._fact_pruning = fact_pruning
+
+    def _fact_decide(self, state: ExecutionState,
+                     condition: Expr) -> Optional[bool]:
+        """Cheap exact decision of ``condition`` from the path's unary
+        facts; None when they leave it open."""
+        facts = unary_facts(state.constraints)
+        if not facts:
+            return None
+        return decide_with_facts(condition, facts, self.solver, {})
 
     # --------------------------------------------------------------- setup
     def make_initial_state(self, num_input_bytes: int) -> ExecutionState:
@@ -333,7 +361,20 @@ class SymbolicExecutor:
         """Exhaustively explore the entry function for the given symbolic
         input size (subject to the configured limits)."""
         self._budget = ExplorationBudget(self.limits, [self.stats])
-        initial = self.make_initial_state(num_input_bytes)
+        return self._explore_from(self.make_initial_state(num_input_bytes))
+
+    def run_seeded(self, state: ExecutionState) -> SymexReport:
+        """Explore from a caller-prepared initial state.
+
+        The caller builds the state with :meth:`make_initial_state` and
+        may seed it with extra path constraints (``state.add_constraint``)
+        before handing it over — the relcheck product driver replays the
+        optimized module under another module's path condition this way,
+        so branches the seeded condition decides never fork."""
+        self._budget = ExplorationBudget(self.limits, [self.stats])
+        return self._explore_from(state)
+
+    def _explore_from(self, initial: ExecutionState) -> SymexReport:
         self.searcher.add(initial)
         while not self.searcher.empty():
             if self._out_of_budget():
@@ -618,9 +659,14 @@ class SymbolicExecutor:
                 raise ProgramError(ErrorKind.DIVISION_BY_ZERO, "")
             return
         is_zero = binary(ExprOp.EQ, divisor, zero)
-        varfree, groups = state.relevant_partition(is_zero)
-        can_zero, can_nonzero = self.solver.check_branch_partition(
-            varfree, groups, is_zero)
+        decided = self._fact_decide(state, is_zero) \
+            if self._fact_pruning else None
+        if decided is not None:
+            can_zero, can_nonzero = decided, not decided
+        else:
+            varfree, groups = state.relevant_partition(is_zero)
+            can_zero, can_nonzero = self.solver.check_branch_partition(
+                varfree, groups, is_zero)
         if not can_zero:
             # Division is safe; the nonzero fact is implied by the path
             # condition, so there is nothing to record.
@@ -697,8 +743,12 @@ class SymbolicExecutor:
                 ExprOp.OR,
                 binary(ExprOp.ULT, address, low),
                 binary(ExprOp.ULT, high, address))
-            if self.solver.may_be_true_partition(
-                    *state.relevant_partition(out_of_bounds), out_of_bounds):
+            decided = self._fact_decide(state, out_of_bounds) \
+                if self._fact_pruning else None
+            may_oob = decided if decided is not None else \
+                self.solver.may_be_true_partition(
+                    *state.relevant_partition(out_of_bounds), out_of_bounds)
+            if may_oob:
                 if not self._replay:
                     # (During trace replay the error side was already
                     # recorded by the run that traced this prefix; see
@@ -794,9 +844,18 @@ class SymbolicExecutor:
         # affect the branch; disjoint groups are satisfiable by the state
         # invariant and drop out of the query.  The state's partition goes
         # to the solver as-is, so no union-find re-derives it.
-        varfree, groups = state.relevant_partition(condition)
-        can_true, can_false = self.solver.check_branch_partition(
-            varfree, groups, condition)
+        # With fact pruning on, the cheap per-variable decision runs
+        # first: when the unary facts decide the branch, the coupled
+        # full-partition query — which may burn its whole assignment
+        # budget only to answer "maybe" — is skipped entirely.
+        decided = self._fact_decide(state, condition) \
+            if self._fact_pruning else None
+        if decided is not None:
+            can_true, can_false = decided, not decided
+        else:
+            varfree, groups = state.relevant_partition(condition)
+            can_true, can_false = self.solver.check_branch_partition(
+                varfree, groups, condition)
         if can_true and not can_false:
             state.add_constraint(condition)
             state.jump_to(inst.true_target)
@@ -928,6 +987,8 @@ class SymbolicExecutor:
             test_input=test_input,
             return_value=return_value,
         ))
+        if self._state_sink is not None:
+            self._state_sink(state)
 
     def _record_error(self, state: ExecutionState, error: ProgramError) -> None:
         state.status = StateStatus.ERROR
@@ -948,6 +1009,8 @@ class SymbolicExecutor:
             block=error.block,
             test_input=test_input,
         ))
+        if self._state_sink is not None:
+            self._state_sink(state)
 
 
 #: Concrete instruction class -> handler.  Exact-type keyed: the IR's

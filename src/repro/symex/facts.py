@@ -1,0 +1,113 @@
+"""Unary-fact refutation: cheap, exact pruning of conditions that the
+path's single-variable constraints already decide.
+
+The solver's CSP enumeration is exact on small per-variable domains but
+concedes "maybe satisfiable" once several input bytes couple into one
+group and the assignment budget runs out.  The engine then forks both
+ways, materializing *phantom* paths whose condition is actually
+infeasible.  Most of those conditions are not genuinely hard: they are
+ite-chains (if-conversion residue) and pointer-arithmetic checks whose
+leaf conditions compare one input byte each — and the path condition
+usually carries a unary fact (``ne(in_2, 47)``, ...) that decides every
+leaf.  Checking a leaf against only the facts over its own variables
+keeps the query in the solver's exact regime, and UNSAT against a
+*subset* of the path constraints is UNSAT against all of them, so every
+resolution and refutation here is sound.
+
+Both the executor's opt-in ``fact_pruning`` mode and the relcheck
+product driver (:mod:`repro.relcheck.product`) build on these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .expr import Expr, ExprOp
+from .simplify import not_expr, rebuild
+from .solver import Solver
+
+__all__ = ["unary_facts", "resolve_selects", "decide_with_facts"]
+
+
+def unary_facts(constraints: Iterable[Expr]) -> Dict[str, Tuple[Expr, ...]]:
+    """The single-variable constraints among ``constraints``, grouped per
+    variable — the always-exactly-decidable slice of a path condition."""
+    facts: Dict[str, List[Expr]] = {}
+    for constraint in constraints:
+        names = constraint.variables()
+        if len(names) == 1:
+            (name,) = tuple(names)
+            facts.setdefault(name, []).append(constraint)
+    return {name: tuple(items) for name, items in facts.items()}
+
+
+def _refuted(condition: Expr, facts: Dict[str, Tuple[Expr, ...]],
+             solver: Solver) -> bool:
+    """True when ``condition`` conjoined with the facts over its own
+    variables is *exactly* unsatisfiable."""
+    groups = [facts[name] for name in sorted(condition.variables())
+              if name in facts]
+    if not groups:
+        return False
+    result = solver.check_partition((), groups, (condition,))
+    return not result.satisfiable and result.exact
+
+
+def resolve_selects(expr: Expr, facts: Dict[str, Tuple[Expr, ...]],
+                    solver: Solver, cache: Dict[Expr, Expr],
+                    on_resolve: Optional[Callable[[], None]] = None) -> Expr:
+    """Simplify ``expr`` under a path condition by resolving ITE nodes
+    whose condition the path's unary facts decide.
+
+    Each resolution costs at most two tiny per-variable queries (cached,
+    shared across paths).  Pruning only happens on an *exact* UNSAT
+    answer, so the result is equivalent to ``expr`` on every model of
+    the path condition the facts were drawn from."""
+    cached = cache.get(expr)
+    if cached is not None:
+        return cached
+    if expr.op is ExprOp.CONST or expr.op is ExprOp.VAR:
+        cache[expr] = expr
+        return expr
+    operands = tuple(resolve_selects(operand, facts, solver, cache,
+                                     on_resolve)
+                     for operand in expr.operands)
+    result: Optional[Expr] = None
+    if expr.op is ExprOp.ITE:
+        condition, then, otherwise = operands
+        if condition.is_constant:
+            result = then if condition.value else otherwise
+        elif _refuted(condition, facts, solver):
+            result = otherwise
+        elif _refuted(not_expr(condition), facts, solver):
+            result = then
+        if result is not None and not condition.is_constant \
+                and on_resolve is not None:
+            on_resolve()
+    if result is None:
+        result = expr if operands == expr.operands \
+            else rebuild(expr.op, expr.width, operands)
+    cache[expr] = result
+    return result
+
+
+def decide_with_facts(condition: Expr, facts: Dict[str, Tuple[Expr, ...]],
+                      solver: Solver, cache: Dict[Expr, Expr],
+                      on_resolve: Optional[Callable[[], None]] = None
+                      ) -> Optional[bool]:
+    """Decide ``condition`` under the facts when cheaply possible.
+
+    Returns True/False when the condition provably takes that value on
+    every model of the path condition, None when the facts leave it
+    open.  Sound both ways: a non-None answer is backed by exact UNSAT
+    of the opposite polarity."""
+    if not facts:
+        return None
+    resolved = resolve_selects(condition, facts, solver, cache, on_resolve)
+    if resolved.is_constant:
+        return bool(resolved.value)
+    if _refuted(resolved, facts, solver):
+        return False
+    if _refuted(not_expr(resolved), facts, solver):
+        return True
+    return None

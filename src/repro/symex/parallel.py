@@ -52,7 +52,7 @@ import pickle
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults import WorkerCrash, site as _fault_site
 from ..ir import Module
@@ -183,11 +183,17 @@ class ParallelExecutor:
                  solver_config: Optional[SolverConfig] = None,
                  limits: Optional[SymexLimits] = None,
                  use_processes: bool = False,
-                 shared_caches: Optional[SharedSolverCaches] = None) -> None:
+                 shared_caches: Optional[SharedSolverCaches] = None,
+                 state_sink: Optional[Callable[[ExecutionState], None]]
+                 = None,
+                 fact_pruning: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if searcher not in ("dfs", "bfs", "random"):
             raise ValueError(f"unknown search strategy '{searcher}'")
+        if state_sink is not None and use_processes:
+            raise ValueError("state_sink needs thread workers: states "
+                             "cannot cross a process boundary")
         self.module = module
         self.entry = entry
         self.searcher = searcher
@@ -200,6 +206,15 @@ class ParallelExecutor:
         #: store).  Must be built with ``locked=True`` when ``workers > 1``.
         #: ``None``: the run builds its own, one stripe per worker.
         self.shared_caches = shared_caches
+        #: Observer handed every finished state, forwarded to each worker
+        #: engine (see :class:`SymbolicExecutor`).  Called concurrently
+        #: from worker threads — the callback must synchronize itself.
+        self.state_sink = state_sink
+        #: Forwarded to each worker engine (see :class:`SymbolicExecutor`):
+        #: refute conservative fork conditions against unary facts before
+        #: forking.  Content-deterministic, so the determinism contract is
+        #: unaffected.
+        self.fact_pruning = fact_pruning
 
     # ------------------------------------------------------------- threads
     def run(self, num_input_bytes: int) -> SymexReport:
@@ -228,7 +243,9 @@ class ParallelExecutor:
             self.module, entry=self.entry,
             searcher=_FrontierView(frontier, 0),
             solver=Solver(config=config, shared=shared),
-            limits=self.limits, stats=stats_list[0], budget=budget)]
+            limits=self.limits, stats=stats_list[0], budget=budget,
+            state_sink=self.state_sink,
+            fact_pruning=self.fact_pruning)]
         # The bootstrap populates its globals map and input-variable list;
         # build the sibling engines only afterwards so they share the
         # populated objects (make_initial_state rebinds them).
@@ -240,7 +257,9 @@ class ParallelExecutor:
                 solver=Solver(config=config, shared=shared),
                 limits=self.limits, stats=stats_list[index], budget=budget,
                 globals_map=engines[0]._globals,
-                input_variables=engines[0]._input_variables))
+                input_variables=engines[0]._input_variables,
+                state_sink=self.state_sink,
+                fact_pruning=self.fact_pruning))
         frontier.add(initial, 0)
 
         failures: List[BaseException] = []

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.frontend import compile_to_ir
-from repro.interp import run_module
+from repro.interp import Interpreter, run_module
+from repro.passes import PassManager
 from repro.pipelines import CompileOptions, OptLevel, compile_source
 
 
@@ -34,3 +35,65 @@ def run_at_level(source: str, level: OptLevel, input_bytes: bytes,
 def all_levels():
     return [OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3,
             OptLevel.OVERIFY]
+
+
+# ------------------------------------------------------- compile helpers
+# One canonical copy of the compile-a-module helpers the backend, fuzz,
+# determinism, relcheck, and pass suites all need (previously four
+# per-file variants).
+
+def compile_program(source: str, level: OptLevel = OptLevel.O2):
+    """Compile arbitrary program source at ``level``, return the module."""
+    from repro.pipelines.session import CompilerSession
+
+    return CompilerSession().compile(source, level=level).module
+
+
+def compile_workload_module(name: str, level: OptLevel = OptLevel.O1):
+    """Compile a registry workload at ``level``, return the module.
+
+    Workload sources use the verification libc; compile, don't just
+    lower."""
+    from repro.workloads import get_workload
+
+    return compile_source(get_workload(name).source,
+                          CompileOptions(level=level)).module
+
+
+@pytest.fixture(scope="session")
+def compiled_wc():
+    """The wc workload compiled at -O2 (a CompilationResult)."""
+    from repro.workloads import get_workload
+
+    return compile_source(get_workload("wc").source, level=OptLevel.O2)
+
+
+# -------------------------------------------------- pass-pipeline helpers
+
+def optimize_snippet(source: str, passes):
+    """Compile a MiniC snippet and run ``passes`` to fixpoint on it."""
+    module = compile_to_ir(source)
+    manager = PassManager(verify_after_each=True)
+    manager.extend(passes)
+    manager.run_until_fixpoint(module)
+    return module, manager
+
+
+def run_ir_function(module, name: str, args):
+    """Concretely run one IR function, normalized to unsigned 32-bit."""
+    value = Interpreter(module).run_function(name, args).return_value
+    # A function reduced to `ret %a` passes the Python argument through
+    # raw, while any arithmetic result comes back already wrapped.
+    return value & 0xFFFFFFFF if isinstance(value, int) else value
+
+
+def assert_same_behaviour(source: str, passes, name: str, argument_sets):
+    """Optimized module must agree with the unoptimized one on every
+    argument set; returns ``(module, manager)`` for further assertions."""
+    baseline = compile_to_ir(source)
+    expected = [run_ir_function(baseline, name, args)
+                for args in argument_sets]
+    module, manager = optimize_snippet(source, passes)
+    assert [run_ir_function(module, name, args)
+            for args in argument_sets] == expected
+    return module, manager

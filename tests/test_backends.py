@@ -13,11 +13,6 @@ from repro.verification import (
 from repro.workloads import get_workload
 
 
-@pytest.fixture(scope="module")
-def compiled_wc():
-    return compile_source(get_workload("wc").source, level=OptLevel.O2)
-
-
 class TestRegistry:
     def test_builtin_backends_are_registered(self):
         assert {"symex", "interp"} <= set(backend_names())

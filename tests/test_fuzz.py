@@ -30,6 +30,8 @@ from repro.interp.interpreter import run_module
 from repro.ir import verify_module, verify_ssa_dominance
 from repro.pipelines.levels import OptLevel
 from repro.pipelines.session import CompilerSession
+
+from conftest import compile_program
 from repro.symex.executor import SymexLimits, explore
 from repro.workloads import get_workload
 
@@ -37,10 +39,6 @@ QUICK_ORACLE = OracleConfig(
     max_paths=48, max_instructions=200_000, max_forks=512,
     timeout_seconds=5.0, interp_max_steps=200_000,
     check_solver_matrix=False, query_deadline_seconds=0.5)
-
-
-def _compile(source, level):
-    return CompilerSession().compile(source, level=level).module
 
 
 # --------------------------------------------------------------- generator
@@ -79,7 +77,7 @@ def test_generated_programs_compile_at_every_level():
     for seed in range(8):
         source = generate_program(seed)
         for level in OptLevel:
-            module = _compile(source, level)
+            module = compile_program(source, level)
             verify_module(module)
             verify_ssa_dominance(module)
 
@@ -118,7 +116,7 @@ def test_minimizer_keeps_predicate_and_compiles():
 
     result = minimize_source(source, mentions_input)
     assert mentions_input(result.minimized_source)
-    _compile(result.minimized_source, OptLevel.O0)  # must not raise
+    compile_program(result.minimized_source, OptLevel.O0)  # must not raise
 
 
 # ----------------------------------------------------------------- oracle
@@ -145,6 +143,67 @@ def test_oracle_catches_planted_compile_divergence():
     assert all(d.kind == "compile" for d in outcome.divergences)
 
 
+# ------------------------------------------- oracle family 6: relcheck
+
+_RELCHECK_ORACLE = OracleConfig(
+    max_paths=48, max_instructions=200_000, max_forks=512,
+    timeout_seconds=5.0, interp_max_steps=200_000,
+    check_solver_matrix=False, query_deadline_seconds=0.5,
+    check_relcheck=True)
+
+_TRAP_DELETION_SOURCE = """
+int main(unsigned char *input, int len) {
+    int t = 100 / input[0];
+    return 7;
+}
+"""
+
+
+def test_relcheck_family_clean_on_clean_seed():
+    """A correct compiler plus ``--relcheck``: the proof succeeds and the
+    seed stays clean."""
+    source = generate_program(3, GeneratorConfig(input_bytes=2))
+    outcome = check_source(source, GeneratorConfig(input_bytes=2),
+                           _RELCHECK_ORACLE)
+    assert outcome.clean, [d.describe() for d in outcome.divergences]
+
+
+def test_relcheck_family_flags_planted_miscompile(monkeypatch):
+    """Break the -OVERIFY pipeline with the unsafe-DCE knob: family 6
+    must flag the deleted trap as a ``relcheck`` divergence carrying the
+    concrete counterexample, and minimization must preserve the kind."""
+    from repro.pipelines import levels as levels_mod
+
+    monkeypatch.setitem(levels_mod.LEVEL_PIPELINES, OptLevel.OVERIFY,
+                        "mem2reg,dce<unsafe-traps>")
+    generator = GeneratorConfig(input_bytes=1)
+    outcome = check_source(_TRAP_DELETION_SOURCE, generator,
+                           _RELCHECK_ORACLE)
+    assert not outcome.clean
+    relcheck_divergences = [d for d in outcome.divergences
+                            if d.kind == "relcheck"]
+    assert relcheck_divergences, [d.describe() for d in outcome.divergences]
+    assert "(input " in relcheck_divergences[0].detail
+
+    def still_diverges(candidate):
+        result = check_source(candidate, generator, _RELCHECK_ORACLE)
+        return any(d.kind == "relcheck" for d in result.divergences)
+
+    minimized = minimize_source(_TRAP_DELETION_SOURCE, still_diverges)
+    assert still_diverges(minimized.minimized_source)
+    assert (count_statements(minimized.minimized_source)
+            <= count_statements(_TRAP_DELETION_SOURCE))
+
+
+def test_relcheck_family_off_by_default():
+    """Without the opt-in the product driver must not run: the planted
+    miscompile is still caught by the cheaper families, but never with
+    kind ``relcheck``."""
+    outcome = check_source(_TRAP_DELETION_SOURCE,
+                           GeneratorConfig(input_bytes=1), QUICK_ORACLE)
+    assert all(d.kind != "relcheck" for d in outcome.divergences)
+
+
 # ------------------------------------------------- finding: jump threading
 def test_jump_threading_loop_phi_regression():
     """Seed 15: threading past a loop's test block whose counter phi is
@@ -152,7 +211,7 @@ def test_jump_threading_loop_phi_regression():
     Now: compiles at every level and the result is dominance-valid."""
     workload = get_workload("fuzz-jump-thread-loop-phi")
     for level in OptLevel:
-        module = _compile(workload.source, level)
+        module = compile_program(workload.source, level)
         verify_module(module)
         verify_ssa_dominance(module)
 
@@ -160,7 +219,7 @@ def test_jump_threading_loop_phi_regression():
 def test_full_seed15_compiles_everywhere():
     source = generate_program(15)
     for level in OptLevel:
-        verify_ssa_dominance(_compile(source, level))
+        verify_ssa_dominance(compile_program(source, level))
 
 
 def test_dominance_verifier_rejects_broken_ssa():
@@ -201,7 +260,7 @@ def test_unused_division_keeps_trap_at_every_level():
     workload = get_workload("fuzz-dce-trapping-div")
     trap_input = b"\x00\x00\x00"
     for level in OptLevel:
-        module = _compile(workload.source, level)
+        module = compile_program(workload.source, level)
         result = run_module(module, trap_input, max_steps=200_000)
         assert result.error is not None, str(level)
         assert result.error.kind.value == "division by zero", str(level)
@@ -216,7 +275,7 @@ int main(unsigned char *input, int len) {
     return 3;
 }
 """
-    module = _compile(source, OptLevel.O2)
+    module = compile_program(source, OptLevel.O2)
     text = str(module)
     assert "div" not in text, text
 
@@ -228,7 +287,7 @@ int main(unsigned char *input, int len) {
 }
 """
     for level in OptLevel:
-        module = _compile(source, level)
+        module = compile_program(source, level)
         report = explore(module, 1, limits=SymexLimits(
             max_paths=16, max_instructions=50_000, max_forks=64,
             timeout_seconds=10))
@@ -250,7 +309,7 @@ def test_wide_signed_division_is_exact():
     reference = (((q & 0xFF) + ((r & mask64) & 0xFF)) & 0xFFFFFFFF)
     outcomes = set()
     for level in OptLevel:
-        module = _compile(workload.source, level)
+        module = compile_program(workload.source, level)
         result = run_module(module, b"\x01ab", max_steps=100_000)
         assert result.error is None, str(level)
         outcomes.add(result.return_value & 0xFFFFFFFF)

@@ -38,29 +38,9 @@ from repro.pipelines import (
 from repro.symex import SymexLimits, explore
 from repro.workloads import get_workload, workload_names
 
-
-def _optimize(source, passes):
-    module = compile_to_ir(source)
-    manager = PassManager(verify_after_each=True)
-    manager.extend(passes)
-    manager.run_until_fixpoint(module)
-    return module, manager
-
-
-def _run(module, name, args):
-    value = Interpreter(module).run_function(name, args).return_value
-    # Normalize to the unsigned 32-bit representation: a function reduced
-    # to `ret %a` passes the Python argument through raw, while any
-    # arithmetic result comes back already wrapped.
-    return value & 0xFFFFFFFF if isinstance(value, int) else value
-
-
-def _assert_same_behaviour(source, passes, name, argument_sets):
-    baseline = compile_to_ir(source)
-    expected = [_run(baseline, name, args) for args in argument_sets]
-    module, manager = _optimize(source, passes)
-    assert [_run(module, name, args) for args in argument_sets] == expected
-    return module, manager
+from conftest import (
+    assert_same_behaviour, optimize_snippet, run_ir_function,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -125,7 +105,7 @@ class TestSCCPTransform:
             return x;
         }
         """
-        module, manager = _assert_same_behaviour(
+        module, manager = assert_same_behaviour(
             source, SCCP_PASSES(), "f", [[0], [7], [-3]])
         metrics = function_metrics(module.get_function("f"))
         assert metrics.conditional_branches == 0
@@ -145,7 +125,7 @@ class TestSCCPTransform:
             return x;
         }
         """
-        module, manager = _assert_same_behaviour(
+        module, manager = assert_same_behaviour(
             source, SCCP_PASSES(), "f", [[0], [1], [5]])
         assert manager.stats.branch_edges_deleted >= 1
         # The x != 0 arm is gone; only the loop's own branch remains.
@@ -160,7 +140,7 @@ class TestSCCPTransform:
             return x + 1;
         }
         """
-        module, _ = _assert_same_behaviour(
+        module, _ = assert_same_behaviour(
             source, SCCP_PASSES(), "f", [[1], [-1]])
         function = module.get_function("f")
         # Both arms agree, so the φ is CONST and the add materializes as 6.
@@ -171,7 +151,7 @@ class TestSCCPTransform:
 
     def test_sccp_keeps_genuinely_unknown_branches(self):
         source = "int f(int a) { if (a > 0) { return 1; } return 2; }"
-        module, manager = _assert_same_behaviour(
+        module, manager = assert_same_behaviour(
             source, SCCP_PASSES(), "f", [[1], [0]])
         assert function_metrics(
             module.get_function("f")).conditional_branches == 1
@@ -335,7 +315,7 @@ class TestLoadElimination:
         """
         baseline = compile_to_ir(source)
         expected = [_run_with_buffer(baseline, flag) for flag in (1, -1)]
-        module, manager = _optimize(source, self.PASSES())
+        module, manager = optimize_snippet(source, self.PASSES())
         assert [_run_with_buffer(module, flag) for flag in (1, -1)] == expected
         function = module.get_function("f")
         assert not any(isinstance(inst, LoadInst)
@@ -350,7 +330,7 @@ class TestLoadElimination:
             return *p;
         }
         """
-        module, manager = _optimize(source, self.PASSES())
+        module, manager = optimize_snippet(source, self.PASSES())
         function = module.get_function("f")
         assert any(isinstance(inst, LoadInst)
                    for inst in function.instructions())
@@ -365,7 +345,7 @@ class TestLoadElimination:
             return *p + flag - flag;
         }
         """
-        module, _ = _optimize(source, self.PASSES())
+        module, _ = optimize_snippet(source, self.PASSES())
         assert _run_with_buffer(module, 5) == 9
         function = module.get_function("f")
         assert any(isinstance(inst, LoadInst)
@@ -381,7 +361,7 @@ class TestAlgebraicSimplify:
 
     def test_multiply_by_power_of_two_becomes_shift(self):
         source = "int f(int a) { return a * 8; }"
-        module, manager = _assert_same_behaviour(
+        module, manager = assert_same_behaviour(
             source, self.PASSES(), "f", [[0], [3], [-5], [1 << 20]])
         function = module.get_function("f")
         opcodes = {inst.opcode for inst in function.instructions()}
@@ -391,7 +371,7 @@ class TestAlgebraicSimplify:
 
     def test_constants_canonicalize_to_rhs(self):
         source = "int f(int a) { if (5 > a) { return 1; } return 0; }"
-        module, manager = _assert_same_behaviour(
+        module, manager = assert_same_behaviour(
             source, self.PASSES(), "f", [[4], [5], [6]])
         function = module.get_function("f")
         from repro.ir import ICmpInst
@@ -409,7 +389,7 @@ class TestAlgebraicSimplify:
                   "return a == 3 || a == 4 || a == 5 || a == 6; }")
         passes = [SimplifyCFG(), PromoteMemoryToRegisters(), InstCombine(),
                   AlgebraicSimplify(), DeadCodeElimination()]
-        module, _ = _assert_same_behaviour(
+        module, _ = assert_same_behaviour(
             source, passes, "f", [[n] for n in range(0, 9)])
         function = module.get_function("f")
         from repro.ir import ICmpInst
@@ -420,7 +400,7 @@ class TestAlgebraicSimplify:
     def test_double_negation_cancels(self):
         source = "int f(int a) { return -(-a); }"
         passes = self.PASSES() + [DeadCodeElimination()]
-        module, _ = _assert_same_behaviour(
+        module, _ = assert_same_behaviour(
             source, passes, "f", [[0], [9], [-9]])
         function = module.get_function("f")
         assert function.instruction_count() == 1  # just `ret a`

@@ -25,6 +25,8 @@ from repro.symex.expr import ExprOp
 from repro.verification import VerificationRequest, make_backend
 from repro.workloads import get_workload
 
+from conftest import compile_workload_module
+
 LIMITS_KW = dict(timeout_seconds=120.0)
 
 #: Workloads for the differential: the headline kernel, a branchier text
@@ -32,13 +34,6 @@ LIMITS_KW = dict(timeout_seconds=120.0)
 #: signature dedup is exercised, not just path counting).
 DIFFERENTIAL_WORKLOADS = ["wc", "uniq", "buggy_div", "buggy_index"]
 DIFFERENTIAL_BYTES = 3
-
-
-def _module(name, level=OptLevel.O1):
-    """Workload sources use the verification libc; compile, don't just
-    lower."""
-    return compile_source(get_workload(name).source,
-                          CompileOptions(level=level)).module
 
 
 def _outcome_fingerprint(report):
@@ -68,7 +63,7 @@ class TestWorkerCountDeterminism:
     @pytest.mark.parametrize("name", DIFFERENTIAL_WORKLOADS)
     @pytest.mark.parametrize("searcher", ["dfs", "bfs"])
     def test_workers_4_matches_workers_1(self, name, searcher):
-        module = _module(name)
+        module = compile_workload_module(name)
         runs = {
             workers: explore_parallel(
                 module, DIFFERENTIAL_BYTES, searcher=searcher,
@@ -78,7 +73,7 @@ class TestWorkerCountDeterminism:
         assert _outcome_fingerprint(runs[1]) == _outcome_fingerprint(runs[4])
 
     def test_workers_1_matches_sequential_executor(self):
-        module = _module("wc")
+        module = compile_workload_module("wc")
         sequential = explore(module, DIFFERENTIAL_BYTES,
                              limits=SymexLimits(**LIMITS_KW))
         parallel = explore_parallel(module, DIFFERENTIAL_BYTES, workers=1,
@@ -89,7 +84,7 @@ class TestWorkerCountDeterminism:
     def test_merged_report_is_content_ordered(self):
         """Path records come back sorted by content and bug reports deduped
         by signature, so the report is reproducible across schedules."""
-        module = _module("buggy_div")
+        module = compile_workload_module("buggy_div")
         report = explore_parallel(module, DIFFERENTIAL_BYTES, workers=4,
                                   limits=SymexLimits(**LIMITS_KW))
         keys = [(p.status.value, p.instructions, p.constraint_count)
@@ -104,7 +99,7 @@ class TestWorkerCountDeterminism:
     def test_random_searcher_same_path_set(self):
         """The random discipline shapes order only: exhaustive exploration
         still visits exactly the same paths."""
-        module = _module("wc")
+        module = compile_workload_module("wc")
         baseline = explore_parallel(module, DIFFERENTIAL_BYTES, workers=1,
                                     limits=SymexLimits(**LIMITS_KW))
         randomized = explore_parallel(module, DIFFERENTIAL_BYTES,
@@ -112,6 +107,62 @@ class TestWorkerCountDeterminism:
                                       limits=SymexLimits(**LIMITS_KW))
         assert _outcome_fingerprint(baseline) == \
             _outcome_fingerprint(randomized)
+
+
+class TestRelcheckDeterminism:
+    """Relcheck inherits the executor's contract: ``workers`` parallelizes
+    the A exploration and the per-path replays but may not change a single
+    verdict, counterexample, or counter."""
+
+    @staticmethod
+    def _fingerprint(report):
+        return {
+            "stats": report.stats.as_dict(),
+            "verdicts": [(v.index, v.kind, v.status, v.detail,
+                          v.counterexample) for v in report.verdicts],
+            "divergences": [(d.kind, d.detail, d.counterexample)
+                            for d in report.divergences],
+            "truncated": report.truncated,
+        }
+
+    @pytest.mark.parametrize("name", ["wc", "buggy_div"])
+    def test_workers_4_matches_workers_1(self, name):
+        from repro.relcheck import RelcheckConfig, relcheck_workload
+
+        runs = {
+            workers: relcheck_workload(
+                name, config=RelcheckConfig(input_bytes=DIFFERENTIAL_BYTES,
+                                            workers=workers))
+            for workers in (1, 4)
+        }
+        assert runs[1].clean and runs[4].clean
+        assert self._fingerprint(runs[1]) == self._fingerprint(runs[4])
+
+    def test_divergence_counterexamples_are_worker_independent(self):
+        """The divergent case too: a planted miscompile must yield the
+        same divergence kinds *and the same concrete counterexamples*
+        whatever the worker count."""
+        from repro.frontend import compile_to_ir
+        from repro.pipelines import build_pipeline_from_text
+        from repro.relcheck import RelcheckConfig, relcheck_modules
+
+        source = """
+        int main(unsigned char *input, int len) {
+            int t = 100 / input[0];
+            return 7;
+        }
+        """
+        module_a = compile_to_ir(source)
+        module_b = compile_to_ir(source)
+        build_pipeline_from_text("mem2reg,dce<unsafe-traps>").run(module_b)
+        runs = {
+            workers: relcheck_modules(
+                module_a, module_b, pair=("-O0", "-Obroken"),
+                config=RelcheckConfig(input_bytes=1, workers=workers))
+            for workers in (1, 4)
+        }
+        assert not runs[1].clean
+        assert self._fingerprint(runs[1]) == self._fingerprint(runs[4])
 
 
 class TestTable1Outcomes:
@@ -272,7 +323,7 @@ class TestSharedSolverCaches:
 class TestCowOwnershipInvariants:
     def test_fork_shares_until_first_write(self):
         parent = ExecutionState()
-        frame_owner = _module("wc")
+        frame_owner = compile_workload_module("wc")
         function = frame_owner.get_function("main")
         from repro.symex import StackFrame
         frame = StackFrame(function)
@@ -321,7 +372,7 @@ class TestProcessEscapeHatch:
         ("buggy_div", False),  # bootstrap finishes it all by itself
     ])
     def test_process_pool_matches_sequential(self, name, expect_farming):
-        module = _module(name)
+        module = compile_workload_module(name)
         sequential = explore(module, DIFFERENTIAL_BYTES,
                              limits=SymexLimits(**LIMITS_KW))
         pooled = explore_parallel(module, DIFFERENTIAL_BYTES, workers=2,
@@ -344,7 +395,7 @@ class TestProcessEscapeHatch:
         unexplored paths (no duplicates, nothing lost)."""
         from repro.symex import SymbolicExecutor, SymexStats
 
-        module = _module("wc")
+        module = compile_workload_module("wc")
         full = explore(module, DIFFERENTIAL_BYTES,
                        limits=SymexLimits(**LIMITS_KW))
         boot = SymbolicExecutor(module, searcher="bfs",
